@@ -1,0 +1,163 @@
+package sinrcast
+
+// Benchmark harness: one benchmark per experiment of EXPERIMENTS.md
+// (E1–E9), each regenerating its table at bench scale. Run the full-size
+// suite with cmd/experiments; these benches are the CI-friendly version:
+//
+//	go test -bench=. -benchmem
+//
+// Each bench reports rounds/op-style wall time of one full experiment
+// table plus custom metrics where meaningful.
+
+import (
+	"testing"
+
+	"sinrcast/internal/exp"
+)
+
+// benchCfg shrinks the experiment sizes for benchmark latency.
+func benchCfg() exp.Config { return exp.Config{Seed: 2014, Trials: 2, Scale: 0.5} }
+
+func benchTable(b *testing.B, run func(exp.Config) (interface{ String() string }, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tb, err := run(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && testing.Verbose() {
+			b.Log("\n" + tb.String())
+		}
+	}
+}
+
+func BenchmarkE1NoSBroadcastVsD(b *testing.B) {
+	benchTable(b, func(c exp.Config) (interface{ String() string }, error) {
+		return exp.E1NoSBroadcastVsD(c)
+	})
+}
+
+func BenchmarkE2SBroadcastScaling(b *testing.B) {
+	benchTable(b, func(c exp.Config) (interface{ String() string }, error) {
+		return exp.E2SBroadcastScaling(c)
+	})
+}
+
+func BenchmarkE3Lemma1Invariant(b *testing.B) {
+	benchTable(b, func(c exp.Config) (interface{ String() string }, error) {
+		return exp.E3Lemma1(c)
+	})
+}
+
+func BenchmarkE4Lemma2Invariant(b *testing.B) {
+	benchTable(b, func(c exp.Config) (interface{ String() string }, error) {
+		return exp.E4Lemma2(c)
+	})
+}
+
+func BenchmarkE5ColoringRounds(b *testing.B) {
+	benchTable(b, func(c exp.Config) (interface{ String() string }, error) {
+		return exp.E5ColoringRounds(c)
+	})
+}
+
+func BenchmarkE6GeometryImpact(b *testing.B) {
+	benchTable(b, func(c exp.Config) (interface{ String() string }, error) {
+		return exp.E6GeometryImpact(c)
+	})
+}
+
+func BenchmarkE7BaselineComparison(b *testing.B) {
+	benchTable(b, func(c exp.Config) (interface{ String() string }, error) {
+		return exp.E7BaselineComparison(c)
+	})
+}
+
+func BenchmarkE8Applications(b *testing.B) {
+	benchTable(b, func(c exp.Config) (interface{ String() string }, error) {
+		return exp.E8Applications(c)
+	})
+}
+
+func BenchmarkE9SuccessProbability(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Trials = 1 // E9 multiplies trials by 10 internally
+	for i := 0; i < b.N; i++ {
+		tb, err := exp.E9SuccessProbability(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && testing.Verbose() {
+			b.Log("\n" + tb.String())
+		}
+	}
+}
+
+func BenchmarkE10ModelRobustness(b *testing.B) {
+	benchTable(b, func(c exp.Config) (interface{ String() string }, error) {
+		return exp.E10ModelRobustness(c)
+	})
+}
+
+func BenchmarkE11ColoringAblation(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Trials = 1
+	for i := 0; i < b.N; i++ {
+		tb, err := exp.E11ColoringAblation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && testing.Verbose() {
+			b.Log("\n" + tb.String())
+		}
+	}
+}
+
+// Micro-benchmarks of the building blocks.
+
+func BenchmarkBroadcastNoSUniform96(b *testing.B) {
+	net, err := GenerateUniform(DefaultPhysical(), 96, 8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Broadcast(net, Options{Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.AllInformed {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+func BenchmarkBroadcastSUniform96(b *testing.B) {
+	net, err := GenerateUniform(DefaultPhysical(), 96, 8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := BroadcastSpontaneous(net, Options{Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.AllInformed {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+func BenchmarkColoringUniform128(b *testing.B) {
+	net, err := GenerateUniform(DefaultPhysical(), 128, 8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Colorize(net, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Command broadcast-sim runs one broadcast algorithm on one generated
+// network and reports the outcome: rounds, phases, inform-time spread
+// and energy (transmission counts).
+//
+// Usage:
+//
+//	broadcast-sim -alg nos   -family uniform  -n 96
+//	broadcast-sim -alg s     -family path     -n 48
+//	broadcast-sim -alg decay -family expchain -n 32 -ratio 0.6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sinrcast/internal/baseline"
+	"sinrcast/internal/broadcast"
+	"sinrcast/internal/netgen"
+	"sinrcast/internal/network"
+	"sinrcast/internal/sinr"
+	"sinrcast/internal/stats"
+)
+
+func main() {
+	var (
+		alg     = flag.String("alg", "nos", "nos|s|decay|daum|oracle|tdma")
+		family  = flag.String("family", "uniform", "uniform|path|clusters|corridor|expchain")
+		n       = flag.Int("n", 96, "number of stations")
+		density = flag.Float64("density", 8, "uniform density")
+		frac    = flag.Float64("frac", 0.9, "path gap fraction")
+		ratio   = flag.Float64("ratio", 0.6, "expchain shrink ratio")
+		seed    = flag.Uint64("seed", 1, "seed for generator and protocol")
+		source  = flag.Int("source", 0, "source station")
+	)
+	flag.Parse()
+
+	p := sinr.DefaultParams()
+	cfg := netgen.Config{Params: p, Seed: *seed}
+	var (
+		net *network.Network
+		err error
+	)
+	switch *family {
+	case "uniform":
+		net, err = netgen.Uniform(cfg, *n, *density)
+	case "path":
+		net, err = netgen.Path(cfg, *n, *frac)
+	case "clusters":
+		net, err = netgen.Clusters(cfg, 4, *n/4, 0.08, 0.6)
+	case "corridor":
+		net, err = netgen.RandomWalkCorridor(cfg, *n, 0.5)
+	case "expchain":
+		net, err = netgen.ExponentialChain(cfg, *n, 0.5, *ratio)
+	default:
+		fmt.Fprintf(os.Stderr, "broadcast-sim: unknown family %q\n", *family)
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	bcfg := broadcast.DefaultConfig(net.N(), net.Space.Growth(), net.Params.Eps)
+	var res *broadcast.Result
+	switch *alg {
+	case "nos":
+		res, err = broadcast.RunNoS(net, bcfg, *seed, *source, 1)
+	case "s":
+		res, err = broadcast.RunS(net, bcfg, *seed, *source, 1)
+	case "decay":
+		res, err = baseline.RunFlood(net, baseline.NewDecay(net.N()), *seed, *source, 0)
+	case "daum":
+		res, err = baseline.RunFlood(net, baseline.NewDaumStyle(net), *seed, *source, 0)
+	case "oracle":
+		res, err = baseline.RunFlood(net, baseline.NewDensityOracle(net, 0), *seed, *source, 0)
+	case "tdma":
+		var pol *baseline.GridTDMA
+		pol, err = baseline.NewGridTDMA(net)
+		if err == nil {
+			res, err = baseline.RunFlood(net, pol, *seed, *source, 0)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "broadcast-sim: unknown algorithm %q\n", *alg)
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	d, _ := net.Diameter()
+	fmt.Printf("algorithm      %s\n", *alg)
+	fmt.Printf("network        %s n=%d D=%d Rs=%.3g\n", *family, net.N(), d, net.Granularity())
+	fmt.Printf("all informed   %v\n", res.AllInformed)
+	fmt.Printf("rounds         %d\n", res.Rounds)
+	if res.Phases > 0 {
+		fmt.Printf("phases         %d\n", res.Phases)
+	}
+	fmt.Printf("transmissions  %d (%.2f per station)\n",
+		res.Metrics.Transmissions, float64(res.Metrics.Transmissions)/float64(net.N()))
+	fmt.Printf("receptions     %d\n", res.Metrics.Receptions)
+
+	var times []float64
+	for _, it := range res.InformTime {
+		if it >= 0 {
+			times = append(times, float64(it))
+		}
+	}
+	fmt.Printf("inform times   %s\n", stats.FormatSummary(stats.Summarize(times)))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "broadcast-sim: %v\n", err)
+	os.Exit(1)
+}

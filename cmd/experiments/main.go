@@ -1,0 +1,63 @@
+// Command experiments regenerates every table of EXPERIMENTS.md: the
+// measured reproduction of each quantitative claim in the paper (E1–E9).
+//
+// Usage:
+//
+//	experiments                 # full suite (several minutes)
+//	experiments -scale 0.5      # half-size networks
+//	experiments -only 6         # a single experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sinrcast/internal/exp"
+	"sinrcast/internal/stats"
+)
+
+func main() {
+	var (
+		seed   = flag.Uint64("seed", 2014, "experiment seed")
+		trials = flag.Int("trials", 5, "trials per data point")
+		scale  = flag.Float64("scale", 1, "network size multiplier")
+		only   = flag.Int("only", 0, "run a single experiment (1-11), 0 = all")
+	)
+	flag.Parse()
+
+	cfg := exp.Config{Seed: *seed, Trials: *trials, Scale: *scale}
+	runners := map[int]struct {
+		name string
+		run  func(exp.Config) (*stats.Table, error)
+	}{
+		1:  {"E1", exp.E1NoSBroadcastVsD},
+		2:  {"E2", exp.E2SBroadcastScaling},
+		3:  {"E3", exp.E3Lemma1},
+		4:  {"E4", exp.E4Lemma2},
+		5:  {"E5", exp.E5ColoringRounds},
+		6:  {"E6", exp.E6GeometryImpact},
+		7:  {"E7", exp.E7BaselineComparison},
+		8:  {"E8", exp.E8Applications},
+		9:  {"E9", exp.E9SuccessProbability},
+		10: {"E10", exp.E10ModelRobustness},
+		11: {"E11", exp.E11ColoringAblation},
+	}
+	ids := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	if *only != 0 {
+		if _, ok := runners[*only]; !ok {
+			fmt.Fprintf(os.Stderr, "experiments: no experiment %d\n", *only)
+			os.Exit(2)
+		}
+		ids = []int{*only}
+	}
+	for _, id := range ids {
+		r := runners[id]
+		tb, err := r.run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(tb.String())
+	}
+}

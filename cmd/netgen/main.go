@@ -1,0 +1,127 @@
+// Command netgen generates a network of the requested family and prints
+// its statistics: station count, edges, degree spread, diameter,
+// granularity Rs, and (optionally) an ASCII sketch of the layout.
+//
+// Usage:
+//
+//	netgen -family uniform -n 128 -density 8 -seed 1
+//	netgen -family expchain -n 32 -ratio 0.6 -sketch
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"sinrcast/internal/netgen"
+	"sinrcast/internal/network"
+	"sinrcast/internal/sinr"
+)
+
+func main() {
+	var (
+		family  = flag.String("family", "uniform", "uniform|grid|path|clusters|gaussian|corridor|expchain")
+		n       = flag.Int("n", 128, "number of stations")
+		density = flag.Float64("density", 8, "uniform: stations per communication ball")
+		spacing = flag.Float64("spacing", 0.3, "grid: lattice spacing")
+		frac    = flag.Float64("frac", 0.9, "path: gap as fraction of comm radius")
+		ratio   = flag.Float64("ratio", 0.6, "expchain: gap shrink ratio")
+		k       = flag.Int("k", 4, "clusters: cluster count")
+		sigma   = flag.Float64("sigma", 1.5, "gaussian: standard deviation")
+		step    = flag.Float64("step", 0.5, "corridor: walk step")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		sketch  = flag.Bool("sketch", false, "print an ASCII layout sketch")
+	)
+	flag.Parse()
+
+	p := sinr.DefaultParams()
+	cfg := netgen.Config{Params: p, Seed: *seed}
+	var (
+		net *network.Network
+		err error
+	)
+	switch *family {
+	case "uniform":
+		net, err = netgen.Uniform(cfg, *n, *density)
+	case "grid":
+		net, err = netgen.Grid(cfg, *n, *spacing)
+	case "path":
+		net, err = netgen.Path(cfg, *n, *frac)
+	case "clusters":
+		m := *n / *k
+		if m < 1 {
+			m = 1
+		}
+		net, err = netgen.Clusters(cfg, *k, m, 0.08, 0.6)
+	case "gaussian":
+		net, err = netgen.Gaussian(cfg, *n, *sigma)
+	case "corridor":
+		net, err = netgen.RandomWalkCorridor(cfg, *n, *step)
+	case "expchain":
+		net, err = netgen.ExponentialChain(cfg, *n, 0.5, *ratio)
+	default:
+		fmt.Fprintf(os.Stderr, "netgen: unknown family %q\n", *family)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "netgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	d, connected := net.Diameter()
+	minDeg, sumDeg := net.N(), 0
+	for i := 0; i < net.N(); i++ {
+		deg := net.Degree(i)
+		sumDeg += deg
+		if deg < minDeg {
+			minDeg = deg
+		}
+	}
+	fmt.Printf("family        %s\n", *family)
+	fmt.Printf("stations      %d\n", net.N())
+	fmt.Printf("edges         %d\n", net.EdgeCount())
+	fmt.Printf("degree        min=%d mean=%.1f max=%d\n", minDeg, float64(sumDeg)/float64(net.N()), net.MaxDegree())
+	fmt.Printf("connected     %v\n", connected)
+	fmt.Printf("diameter      %d\n", d)
+	rs := net.Granularity()
+	fmt.Printf("granularity   Rs=%.4g (log2=%.1f)\n", rs, math.Log2(rs))
+	fmt.Printf("phys          alpha=%.1f beta=%.1f N=%.1f eps=%.3f commRadius=%.3f\n",
+		p.Alpha, p.Beta, p.Noise, p.Eps, p.CommRadius())
+
+	if *sketch {
+		fmt.Println()
+		printSketch(net, 64, 20)
+	}
+}
+
+// printSketch draws station positions on a character grid.
+func printSketch(net *network.Network, w, h int) {
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for i := 0; i < net.N(); i++ {
+		q := net.Space.Position(i)
+		minX, maxX = math.Min(minX, q.X), math.Max(maxX, q.X)
+		minY, maxY = math.Min(minY, q.Y), math.Max(maxY, q.Y)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, h)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(".", w))
+	}
+	for i := 0; i < net.N(); i++ {
+		q := net.Space.Position(i)
+		x := int((q.X - minX) / (maxX - minX) * float64(w-1))
+		y := int((q.Y - minY) / (maxY - minY) * float64(h-1))
+		grid[y][x] = '*'
+	}
+	for _, row := range grid {
+		fmt.Println(string(row))
+	}
+}

@@ -1,0 +1,83 @@
+package sinrcast_test
+
+import (
+	"fmt"
+	"log"
+
+	"sinrcast"
+)
+
+// The core workflow: generate, broadcast, inspect.
+func Example() {
+	net, err := sinrcast.GeneratePath(sinrcast.DefaultPhysical(), 12, 0.9, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sinrcast.Broadcast(net, sinrcast.Options{Seed: 7, Payload: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("informed:", res.AllInformed)
+	fmt.Println("source inform time:", res.InformTime[0])
+	// Output:
+	// informed: true
+	// source inform time: 0
+}
+
+// Colorings can be audited against the paper's lemmas.
+func ExampleColorize() {
+	net, err := sinrcast.GeneratePath(sinrcast.DefaultPhysical(), 16, 0.9, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	col, err := sinrcast.Colorize(net, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("stations colored:", len(col.Colors))
+	fmt.Println("Lemma 1 holds:", sinrcast.CheckLemma1(net, col.Colors) <= 1.0)
+	fmt.Println("Lemma 2 holds:", sinrcast.CheckLemma2(net, col.Colors) > 0)
+	// Output:
+	// stations colored: 16
+	// Lemma 1 holds: true
+	// Lemma 2 holds: true
+}
+
+// The alert protocol's negative case stays silent.
+func ExampleAlert() {
+	net, err := sinrcast.GeneratePath(sinrcast.DefaultPhysical(), 10, 0.9, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nobody := make([]bool, net.N())
+	res, err := sinrcast.Alert(net, 5, nobody)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("correct:", res.Correct)
+	fmt.Println("flood transmissions:", res.FloodTransmissions)
+	// Output:
+	// correct: true
+	// flood transmissions: 0
+}
+
+// Consensus agrees on the minimum of all stations' values.
+func ExampleConsensus() {
+	net, err := sinrcast.GenerateUniform(sinrcast.DefaultPhysical(), 24, 8, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	msgs := make([]int64, net.N())
+	for i := range msgs {
+		msgs[i] = int64(10 + i%7)
+	}
+	res, err := sinrcast.Consensus(net, 5, 31, msgs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("agreed:", res.Agreed)
+	fmt.Println("value:", res.Values[0])
+	// Output:
+	// agreed: true
+	// value: 10
+}

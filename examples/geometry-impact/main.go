@@ -1,0 +1,47 @@
+// Geometry-impact: the paper's headline claim (§1.3) as a runnable demo.
+//
+// On exponential-chain networks the granularity Rs (ratio of longest to
+// shortest communication edge) grows exponentially with n, yet the
+// paper's algorithms keep a round complexity that depends only on D and
+// n. A granularity-sensitive strategy in the style of Daum et al. [5]
+// must sweep Θ(log n + α·log Rs) probability levels and slows down as
+// the geometry gets rougher.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"sinrcast"
+)
+
+func main() {
+	// A fixed-diameter path with an exponential cluster at the source
+	// end: the gap ratio controls the granularity Rs while D stays put.
+	const pathLen, clusterSize = 12, 20
+	fmt.Printf("clustered paths, n = %d, D fixed\n", pathLen+clusterSize)
+	fmt.Printf("%10s  %12s  %14s  %12s\n", "log2(Rs)", "SBroadcast", "NoSBroadcast", "daum-style")
+	for _, ratio := range []float64{0.9, 0.75, 0.6, 0.45} {
+		net, err := sinrcast.GenerateClusteredPath(sinrcast.DefaultPhysical(), pathLen, clusterSize, ratio)
+		if err != nil {
+			log.Fatal(err)
+		}
+		src := net.N() - 1 // the deepest cluster station
+		s, err := sinrcast.BroadcastSpontaneous(net, sinrcast.Options{Seed: 3, Source: src})
+		if err != nil {
+			log.Fatal(err)
+		}
+		nos, err := sinrcast.Broadcast(net, sinrcast.Options{Seed: 3, Source: src})
+		if err != nil {
+			log.Fatal(err)
+		}
+		daum, err := sinrcast.FloodDaumStyle(net, sinrcast.Options{Seed: 3, Source: src})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%10.0f  %12d  %14d  %12d\n",
+			math.Log2(net.Granularity()), s.Rounds, nos.Rounds, daum.Rounds)
+	}
+	fmt.Println("\nsinrcast columns stay flat; the granularity-sensitive sweep grows with Rs.")
+}

@@ -1,0 +1,209 @@
+// Package alert implements the alert-protocol problem mentioned in
+// §1.3: an adversary raises an alert at an arbitrary subset of stations
+// (possibly none); by a known deadline every station must output
+// whether an alert was raised anywhere in the network. The positive
+// case is a one-bit flood over the coloring backbone (a single window
+// of the §5 "wake-up with established coloring"); the negative case
+// must stay completely silent so that no station ever reports a false
+// alert. Time: O(D log n + log² n) after the O(log² n) coloring.
+package alert
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sinrcast/internal/coloring"
+	"sinrcast/internal/network"
+	"sinrcast/internal/rng"
+	"sinrcast/internal/sim"
+	"sinrcast/internal/sinr"
+)
+
+// KindAlert tags alert-flood messages.
+const KindAlert uint8 = 4
+
+// Config parametrizes the alert protocol.
+type Config struct {
+	// Coloring is the backbone schedule.
+	Coloring coloring.Params
+	// WindowRounds is the flood window; 0 derives
+	// WindowFactor·(D+4)·lg n + 2·lg² n.
+	WindowRounds int
+	// WindowFactor scales the derived window (default 60).
+	WindowFactor float64
+	// CProb and MaxTxProb shape the flood probability as in broadcast.
+	CProb     float64
+	MaxTxProb float64
+}
+
+// DefaultConfig returns a calibrated configuration.
+func DefaultConfig(n int, gamma, eps float64) Config {
+	return Config{
+		Coloring:     coloring.DefaultParams(n, gamma, eps),
+		WindowFactor: 60,
+		CProb:        6,
+		MaxTxProb:    0.9,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	var errs []error
+	if err := c.Coloring.Validate(); err != nil {
+		errs = append(errs, err)
+	}
+	if c.WindowRounds < 0 {
+		errs = append(errs, fmt.Errorf("alert: WindowRounds = %d must be >= 0", c.WindowRounds))
+	}
+	if c.WindowRounds == 0 && c.WindowFactor <= 0 {
+		errs = append(errs, fmt.Errorf("alert: WindowFactor = %v must be > 0", c.WindowFactor))
+	}
+	if c.CProb <= 0 || c.MaxTxProb <= 0 || c.MaxTxProb > 1 {
+		errs = append(errs, fmt.Errorf("alert: bad flood probabilities"))
+	}
+	return errors.Join(errs...)
+}
+
+func (c Config) lg() float64 {
+	l := math.Log2(float64(c.Coloring.N))
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+func (c Config) window(d int) int {
+	if c.WindowRounds > 0 {
+		return c.WindowRounds
+	}
+	lg := c.lg()
+	return int(math.Ceil(c.WindowFactor*float64(d+4)*lg + 2*lg*lg))
+}
+
+// station is the per-station alert state machine.
+type station struct {
+	cfg     *Config
+	machine *coloring.Machine
+	rnd     *rng.Source
+	alerted bool // raised or received the alert
+	txProb  float64
+}
+
+var _ sim.Protocol = (*station)(nil)
+
+// Tick implements sim.Protocol.
+func (s *station) Tick(t int) (bool, sim.Message) {
+	colorLen := s.cfg.Coloring.TotalRounds()
+	if t < colorLen {
+		if s.machine.Tick(t) {
+			return true, sim.Message{Kind: coloring.KindColoring}
+		}
+		return false, sim.Message{}
+	}
+	if t == colorLen {
+		s.machine.Finish()
+		s.txProb = s.machine.Color() * s.cfg.Coloring.CEps / (s.cfg.CProb * s.cfg.lg())
+		if s.txProb > s.cfg.MaxTxProb {
+			s.txProb = s.cfg.MaxTxProb
+		}
+	}
+	if s.alerted && s.rnd.Bernoulli(s.txProb) {
+		return true, sim.Message{Kind: KindAlert}
+	}
+	return false, sim.Message{}
+}
+
+// Recv implements sim.Protocol.
+func (s *station) Recv(t int, msg sim.Message) {
+	if t < s.cfg.Coloring.TotalRounds() {
+		s.machine.OnRecv(t)
+		return
+	}
+	if msg.Kind == KindAlert {
+		s.alerted = true
+	}
+}
+
+// Result reports an alert execution.
+type Result struct {
+	// Outputs[i] is station i's verdict at the deadline.
+	Outputs []bool
+	// Correct: every station's verdict equals "any alert was raised".
+	Correct bool
+	// Rounds is the protocol length (coloring + window).
+	Rounds int
+	// FloodTransmissions counts transmissions in the flood window only
+	// (must be 0 in the negative case).
+	FloodTransmissions int64
+	// Metrics are the full-run counters.
+	Metrics sim.Metrics
+}
+
+// Run executes the protocol; raised[i] marks stations at which the
+// adversary raises the alert at time 0.
+func Run(net *network.Network, cfg Config, seed uint64, raised []bool) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := net.N()
+	if len(raised) != n {
+		return nil, fmt.Errorf("alert: %d flags for %d stations", len(raised), n)
+	}
+	if cfg.Coloring.N != n {
+		return nil, fmt.Errorf("alert: config sized for %d stations, network has %d", cfg.Coloring.N, n)
+	}
+	d, connected := net.DiameterApprox()
+	if !connected {
+		return nil, errors.New("alert: network not connected")
+	}
+	phys, err := sinr.NewEngine(net.Space, net.Params)
+	if err != nil {
+		return nil, err
+	}
+	root := rng.New(seed)
+	stations := make([]*station, n)
+	protos := make([]sim.Protocol, n)
+	for i := 0; i < n; i++ {
+		m, err := coloring.NewMachine(cfg.Coloring, root.Split(uint64(i)).Split(1))
+		if err != nil {
+			return nil, err
+		}
+		stations[i] = &station{
+			cfg:     &cfg,
+			machine: m,
+			rnd:     root.Split(uint64(i)),
+			alerted: raised[i],
+		}
+		protos[i] = stations[i]
+	}
+	eng, err := sim.NewEngine(phys, protos)
+	if err != nil {
+		return nil, err
+	}
+	colorLen := cfg.Coloring.TotalRounds()
+	eng.Run(colorLen, nil)
+	preFlood := eng.Metrics.Transmissions
+	eng.Run(cfg.window(d), nil)
+
+	any := false
+	for _, r := range raised {
+		if r {
+			any = true
+		}
+	}
+	res := &Result{
+		Outputs:            make([]bool, n),
+		Correct:            true,
+		Rounds:             eng.Metrics.Rounds,
+		FloodTransmissions: eng.Metrics.Transmissions - preFlood,
+		Metrics:            eng.Metrics,
+	}
+	for i, st := range stations {
+		res.Outputs[i] = st.alerted
+		if st.alerted != any {
+			res.Correct = false
+		}
+	}
+	return res, nil
+}

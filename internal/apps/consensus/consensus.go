@@ -1,0 +1,289 @@
+// Package consensus implements the §5 consensus protocol: every station
+// holds a message in {0,…,X}; all stations must agree on the
+// lexicographically (numerically) smallest one. The protocol first
+// establishes the backbone coloring (one StabilizeProbability execution,
+// as in the paper's "wake-up with established coloring"), then reveals
+// the minimum bit by bit, most significant first: in window i, stations
+// whose message extends the agreed prefix with a 0-bit initiate a
+// bounded flood; hearing the window's token means bit 0, silence means
+// bit 1. Time is O(window·log X) = O((D log n + log² n)·log X).
+package consensus
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"sinrcast/internal/coloring"
+	"sinrcast/internal/network"
+	"sinrcast/internal/rng"
+	"sinrcast/internal/sim"
+	"sinrcast/internal/sinr"
+)
+
+// KindToken tags window-flood messages; A carries the window index so
+// stale tokens never leak across windows.
+const KindToken uint8 = 3
+
+// Config parametrizes the consensus protocol.
+type Config struct {
+	// Coloring is the backbone StabilizeProbability schedule.
+	Coloring coloring.Params
+	// X bounds the message domain {0..X}.
+	X int64
+	// WindowRounds is the per-bit flood window length; 0 derives
+	// WindowFactor·(D+4)·lg n + 2·lg² n from the network.
+	WindowRounds int
+	// WindowFactor scales the derived window (default 60).
+	WindowFactor float64
+	// CProb and MaxTxProb shape the per-round flood probability
+	// p·cε/(CProb·lg n) as in broadcast.Config.
+	CProb     float64
+	MaxTxProb float64
+}
+
+// DefaultConfig returns a calibrated consensus configuration.
+func DefaultConfig(n int, gamma, eps float64, x int64) Config {
+	return Config{
+		Coloring:     coloring.DefaultParams(n, gamma, eps),
+		X:            x,
+		WindowFactor: 60,
+		CProb:        6,
+		MaxTxProb:    0.9,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	var errs []error
+	if err := c.Coloring.Validate(); err != nil {
+		errs = append(errs, err)
+	}
+	if c.X < 0 {
+		errs = append(errs, fmt.Errorf("consensus: X = %d must be >= 0", c.X))
+	}
+	if c.WindowRounds < 0 {
+		errs = append(errs, fmt.Errorf("consensus: WindowRounds = %d must be >= 0", c.WindowRounds))
+	}
+	if c.WindowRounds == 0 && c.WindowFactor <= 0 {
+		errs = append(errs, fmt.Errorf("consensus: WindowFactor = %v must be > 0", c.WindowFactor))
+	}
+	if c.CProb <= 0 || c.MaxTxProb <= 0 || c.MaxTxProb > 1 {
+		errs = append(errs, fmt.Errorf("consensus: bad flood probabilities (CProb=%v, MaxTxProb=%v)", c.CProb, c.MaxTxProb))
+	}
+	return errors.Join(errs...)
+}
+
+// Bits returns the number of bit windows: ⌈log2(X+1)⌉ (at least 1).
+func (c Config) Bits() int {
+	if c.X <= 0 {
+		return 1
+	}
+	return bits.Len64(uint64(c.X))
+}
+
+// lg returns log2 n clamped at 1.
+func (c Config) lg() float64 {
+	l := math.Log2(float64(c.Coloring.N))
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// window returns the per-bit window length for a network of diameter d.
+func (c Config) window(d int) int {
+	if c.WindowRounds > 0 {
+		return c.WindowRounds
+	}
+	lg := c.lg()
+	return int(math.Ceil(c.WindowFactor*float64(d+4)*lg + 2*lg*lg))
+}
+
+// station is the per-station consensus state machine.
+type station struct {
+	cfg     *Config
+	machine *coloring.Machine
+	rnd     *rng.Source
+	msg     int64
+
+	txProb float64 // backbone flood probability, fixed after coloring
+	window int
+
+	prefix   int64 // agreed bits so far (most significant first)
+	nbits    int   // number of agreed bits
+	hasToken bool  // heard/initiated the current window's token
+}
+
+var _ sim.Protocol = (*station)(nil)
+
+// initiates reports whether the station's message extends the agreed
+// prefix with a 0 at the current bit (bit index counts from the top).
+func (s *station) initiates(bitIdx, totalBits int) bool {
+	shift := uint(totalBits - bitIdx - 1)
+	if s.msg>>(shift+1) != s.prefix {
+		return false
+	}
+	return (s.msg>>shift)&1 == 0
+}
+
+// Tick implements sim.Protocol.
+func (s *station) Tick(t int) (bool, sim.Message) {
+	colorLen := s.cfg.Coloring.TotalRounds()
+	if t < colorLen {
+		if s.machine.Tick(t) {
+			return true, sim.Message{Kind: coloring.KindColoring}
+		}
+		return false, sim.Message{}
+	}
+	if t == colorLen {
+		s.machine.Finish()
+		s.txProb = s.machine.Color() * s.cfg.Coloring.CEps / (s.cfg.CProb * s.cfg.lg())
+		if s.txProb > s.cfg.MaxTxProb {
+			s.txProb = s.cfg.MaxTxProb
+		}
+	}
+	total := s.cfg.Bits()
+	w := t - colorLen
+	bitIdx := w / s.window
+	if bitIdx >= total {
+		return false, sim.Message{} // protocol over
+	}
+	if w%s.window == 0 {
+		// Window start: close the previous window, decide its bit.
+		if bitIdx > 0 {
+			s.closeWindow()
+		}
+		s.hasToken = s.initiates(bitIdx, total)
+	}
+	if s.hasToken && s.rnd.Bernoulli(s.txProb) {
+		return true, sim.Message{Kind: KindToken, A: int64(bitIdx)}
+	}
+	return false, sim.Message{}
+}
+
+// closeWindow folds the finished window's outcome into the prefix.
+func (s *station) closeWindow() {
+	bit := int64(1)
+	if s.hasToken {
+		bit = 0
+	}
+	s.prefix = s.prefix<<1 | bit
+	s.nbits++
+	s.hasToken = false
+}
+
+// Recv implements sim.Protocol.
+func (s *station) Recv(t int, msg sim.Message) {
+	colorLen := s.cfg.Coloring.TotalRounds()
+	if t < colorLen {
+		s.machine.OnRecv(t)
+		return
+	}
+	if msg.Kind != KindToken {
+		return
+	}
+	bitIdx := (t - colorLen) / s.window
+	if int64(bitIdx) == msg.A {
+		s.hasToken = true
+	}
+}
+
+// finalize closes the last window (the engine stops before another
+// window-start Tick would).
+func (s *station) finalize() {
+	if s.nbits < s.cfg.Bits() {
+		s.closeWindow()
+	}
+}
+
+// Result reports a consensus execution.
+type Result struct {
+	// Values[i] is station i's decided value.
+	Values []int64
+	// Agreed reports whether all stations decided the same value.
+	Agreed bool
+	// Correct reports whether the common value equals the true minimum
+	// (implies Agreed).
+	Correct bool
+	// Rounds is the total protocol length (coloring + all windows).
+	Rounds int
+	// Metrics are the simulation counters.
+	Metrics sim.Metrics
+}
+
+// Run executes consensus over the stations' messages msgs (one per
+// station, each in {0..cfg.X}).
+func Run(net *network.Network, cfg Config, seed uint64, msgs []int64) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := net.N()
+	if len(msgs) != n {
+		return nil, fmt.Errorf("consensus: %d messages for %d stations", len(msgs), n)
+	}
+	if cfg.Coloring.N != n {
+		return nil, fmt.Errorf("consensus: config sized for %d stations, network has %d", cfg.Coloring.N, n)
+	}
+	for i, m := range msgs {
+		if m < 0 || m > cfg.X {
+			return nil, fmt.Errorf("consensus: message %d of station %d outside [0,%d]", m, i, cfg.X)
+		}
+	}
+	d, connected := net.DiameterApprox()
+	if !connected {
+		return nil, errors.New("consensus: network not connected")
+	}
+	phys, err := sinr.NewEngine(net.Space, net.Params)
+	if err != nil {
+		return nil, err
+	}
+	root := rng.New(seed)
+	window := cfg.window(d)
+	stations := make([]*station, n)
+	protos := make([]sim.Protocol, n)
+	for i := 0; i < n; i++ {
+		m, err := coloring.NewMachine(cfg.Coloring, root.Split(uint64(i)).Split(1))
+		if err != nil {
+			return nil, err
+		}
+		st := &station{
+			cfg:     &cfg,
+			machine: m,
+			rnd:     root.Split(uint64(i)),
+			msg:     msgs[i],
+			window:  window,
+		}
+		stations[i] = st
+		protos[i] = st
+	}
+	eng, err := sim.NewEngine(phys, protos)
+	if err != nil {
+		return nil, err
+	}
+	total := cfg.Coloring.TotalRounds() + cfg.Bits()*window
+	eng.Run(total, nil)
+
+	res := &Result{
+		Values:  make([]int64, n),
+		Rounds:  total,
+		Metrics: eng.Metrics,
+	}
+	min := msgs[0]
+	for _, m := range msgs[1:] {
+		if m < min {
+			min = m
+		}
+	}
+	res.Agreed = true
+	for i, st := range stations {
+		st.finalize()
+		res.Values[i] = st.prefix
+		if st.prefix != stations[0].prefix {
+			res.Agreed = false
+		}
+	}
+	res.Correct = res.Agreed && stations[0].prefix == min
+	return res, nil
+}

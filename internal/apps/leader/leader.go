@@ -1,0 +1,73 @@
+// Package leader implements the §5 leader-election protocol: every
+// station draws a random ID from {1,…,n³} (unique whp), then the
+// network runs consensus on the IDs; the station holding the agreed
+// minimum becomes the leader. Time is O(D log² n + log³ n) — the
+// consensus time with log X = 3 log n.
+package leader
+
+import (
+	"errors"
+	"fmt"
+
+	"sinrcast/internal/apps/consensus"
+	"sinrcast/internal/network"
+	"sinrcast/internal/rng"
+)
+
+// Result reports a leader-election execution.
+type Result struct {
+	// Leader is the index of the elected station, or -1 if election
+	// failed (no agreement, or the agreed ID matched no station).
+	Leader int
+	// AgreedID is the ID all stations converged on.
+	AgreedID int64
+	// IDs are the randomly drawn identifiers.
+	IDs []int64
+	// Unique reports whether the random IDs were collision-free.
+	Unique bool
+	// Consensus carries the underlying consensus result.
+	Consensus *consensus.Result
+}
+
+// Run elects a leader on the network. cfg.X is overridden to n³ as the
+// protocol prescribes; IDs are drawn from seed.
+func Run(net *network.Network, cfg consensus.Config, seed uint64) (*Result, error) {
+	n := net.N()
+	if n < 1 {
+		return nil, errors.New("leader: empty network")
+	}
+	x := int64(n) * int64(n) * int64(n)
+	cfg.X = x
+	r := rng.New(seed)
+	ids := make([]int64, n)
+	seen := make(map[int64]bool, n)
+	unique := true
+	for i := range ids {
+		ids[i] = 1 + r.Int63()%x
+		if seen[ids[i]] {
+			unique = false
+		}
+		seen[ids[i]] = true
+	}
+	cres, err := consensus.Run(net, cfg, seed+1, ids)
+	if err != nil {
+		return nil, fmt.Errorf("leader: %w", err)
+	}
+	res := &Result{
+		Leader:    -1,
+		IDs:       ids,
+		Unique:    unique,
+		Consensus: cres,
+	}
+	if !cres.Agreed {
+		return res, nil
+	}
+	res.AgreedID = cres.Values[0]
+	for i, id := range ids {
+		if id == res.AgreedID {
+			res.Leader = i
+			break
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,78 @@
+package leader
+
+import (
+	"testing"
+
+	"sinrcast/internal/apps/consensus"
+	"sinrcast/internal/netgen"
+	"sinrcast/internal/network"
+	"sinrcast/internal/sinr"
+)
+
+func genNet(t testing.TB, n int, seed uint64) *network.Network {
+	t.Helper()
+	net, err := netgen.Uniform(netgen.Config{Params: sinr.DefaultParams(), Seed: seed}, n, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestLeaderElection(t *testing.T) {
+	net := genNet(t, 24, 3)
+	cfg := consensus.DefaultConfig(net.N(), net.Space.Growth(), net.Params.Eps, 1)
+	res, err := Run(net, cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Unique {
+		t.Skip("rare ID collision for this seed; choose another seed")
+	}
+	if res.Leader < 0 {
+		t.Fatalf("no leader elected (agreed=%v)", res.Consensus.Agreed)
+	}
+	// The leader holds the minimum ID.
+	min := res.IDs[0]
+	for _, id := range res.IDs[1:] {
+		if id < min {
+			min = id
+		}
+	}
+	if res.IDs[res.Leader] != min {
+		t.Fatalf("leader %d has ID %d, min is %d", res.Leader, res.IDs[res.Leader], min)
+	}
+	if res.AgreedID != min {
+		t.Fatalf("agreed ID %d != min %d", res.AgreedID, min)
+	}
+}
+
+func TestLeaderDeterministic(t *testing.T) {
+	net := genNet(t, 16, 5)
+	cfg := consensus.DefaultConfig(net.N(), net.Space.Growth(), net.Params.Eps, 1)
+	a, err := Run(net, cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(net, cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Leader != b.Leader || a.AgreedID != b.AgreedID {
+		t.Fatalf("nondeterministic election: %d/%d vs %d/%d", a.Leader, a.AgreedID, b.Leader, b.AgreedID)
+	}
+}
+
+func TestLeaderIDsInRange(t *testing.T) {
+	net := genNet(t, 16, 7)
+	cfg := consensus.DefaultConfig(net.N(), net.Space.Growth(), net.Params.Eps, 1)
+	res, err := Run(net, cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := int64(net.N()) * int64(net.N()) * int64(net.N())
+	for i, id := range res.IDs {
+		if id < 1 || id > x {
+			t.Fatalf("station %d ID %d outside [1,%d]", i, id, x)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package broadcast
+
+import (
+	"fmt"
+
+	"sinrcast/internal/coloring"
+	"sinrcast/internal/network"
+	"sinrcast/internal/rng"
+	"sinrcast/internal/sim"
+	"sinrcast/internal/sinr"
+)
+
+// nosStation is the per-station NoSBroadcast state machine (§4.1).
+//
+// Global time is divided into phases of cfg.PhaseLen() rounds. A station
+// is active in a phase iff it was informed before the phase started.
+// Part 1 of a phase re-runs StabilizeProbability on the active set;
+// part 2 transmits the message with the Fact 11 probability derived from
+// the fresh color. Sleeping stations listen; any reception informs them
+// (every message carries the payload), and they join at the next phase
+// boundary — exactly the paper's synchronization-by-round-counter.
+type nosStation struct {
+	cfg     *Config
+	machine *coloring.Machine
+	rnd     *rng.Source
+	payload int64
+
+	informed   bool
+	informedAt int
+	// wakeAt is the round of a spontaneous (adversarial) wake-up, or -1.
+	// Used by the wake-up application (§5); plain broadcast sets -1.
+	wakeAt int
+	active bool // participating in the current phase
+	txProb float64
+}
+
+var _ sim.Protocol = (*nosStation)(nil)
+
+func newNOSStation(cfg *Config, rnd *rng.Source, payload int64, isSource bool) (*nosStation, error) {
+	m, err := coloring.NewMachine(cfg.Coloring, rnd.Split(1))
+	if err != nil {
+		return nil, err
+	}
+	s := &nosStation{
+		cfg:        cfg,
+		machine:    m,
+		rnd:        rnd,
+		payload:    payload,
+		informedAt: -1,
+		wakeAt:     -1,
+	}
+	if isSource {
+		s.informed = true
+		s.informedAt = 0
+	}
+	return s, nil
+}
+
+// Tick implements sim.Protocol.
+func (s *nosStation) Tick(t int) (bool, sim.Message) {
+	if !s.informed && s.wakeAt >= 0 && t >= s.wakeAt {
+		s.informed = true
+		s.informedAt = t
+	}
+	phaseLen := s.cfg.PhaseLen()
+	r := t % phaseLen
+	if r == 0 {
+		// Phase boundary: snapshot participation and restart coloring.
+		s.active = s.informed
+		s.machine.Reset()
+		s.txProb = 0
+	}
+	if !s.active {
+		return false, sim.Message{}
+	}
+	colorLen := s.cfg.Coloring.TotalRounds()
+	if r < colorLen {
+		if s.machine.Tick(r) {
+			return true, sim.Message{Kind: KindColoring, A: s.payload}
+		}
+		return false, sim.Message{}
+	}
+	if r == colorLen {
+		// Part 1 just ended: fix the color and the Fact 11 probability.
+		s.machine.Finish()
+		s.txProb = s.cfg.TxProb(s.machine.Color())
+	}
+	if s.rnd.Bernoulli(s.txProb) {
+		return true, sim.Message{Kind: KindData, A: s.payload}
+	}
+	return false, sim.Message{}
+}
+
+// Recv implements sim.Protocol.
+func (s *nosStation) Recv(t int, msg sim.Message) {
+	if !s.informed {
+		s.informed = true
+		s.informedAt = t
+	}
+	if s.active {
+		colorLen := s.cfg.Coloring.TotalRounds()
+		if r := t % s.cfg.PhaseLen(); r < colorLen {
+			s.machine.OnRecv(r)
+		}
+	}
+	_ = msg
+}
+
+// RunNoS executes NoSBroadcast from the given source station and returns
+// the measured result. payload is the broadcast message content.
+func RunNoS(net *network.Network, cfg Config, seed uint64, source int, payload int64) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := net.N()
+	if source < 0 || source >= n {
+		return nil, fmt.Errorf("broadcast: source %d out of range [0,%d)", source, n)
+	}
+	if cfg.Coloring.N != n {
+		return nil, fmt.Errorf("broadcast: config sized for %d stations, network has %d", cfg.Coloring.N, n)
+	}
+	phys, err := cfg.channel(net)
+	if err != nil {
+		return nil, err
+	}
+	root := rng.New(seed)
+	stations := make([]*nosStation, n)
+	protos := make([]sim.Protocol, n)
+	for i := 0; i < n; i++ {
+		st, err := newNOSStation(&cfg, root.Split(uint64(i)), payload, i == source)
+		if err != nil {
+			return nil, err
+		}
+		stations[i] = st
+		protos[i] = st
+	}
+	eng, err := sim.NewEngine(phys, protos)
+	if err != nil {
+		return nil, err
+	}
+
+	remaining := n - 1
+	budget := defaultBudget(cfg, net)
+	lastInformRound := 0
+	eng.SetTracer(tracerFunc(func(t int, _ []int, rec []sinr.Reception) {
+		for _, rc := range rec {
+			if stations[rc.Receiver].informedAt == t {
+				remaining--
+				lastInformRound = t + 1
+			}
+		}
+	}))
+	eng.Run(budget, func() bool { return remaining == 0 })
+
+	res := &Result{
+		AllInformed: remaining == 0,
+		InformTime:  make([]int, n),
+		Metrics:     eng.Metrics,
+	}
+	if res.AllInformed {
+		res.Rounds = lastInformRound
+	} else {
+		res.Rounds = eng.Metrics.Rounds
+	}
+	res.Phases = (res.Rounds + cfg.PhaseLen() - 1) / cfg.PhaseLen()
+	for i, st := range stations {
+		res.InformTime[i] = st.informedAt
+	}
+	return res, nil
+}
+
+// tracerFunc adapts a function to sim.Tracer.
+type tracerFunc func(t int, tx []int, rec []sinr.Reception)
+
+func (f tracerFunc) OnRound(t int, tx []int, rec []sinr.Reception) { f(t, tx, rec) }

@@ -1,0 +1,124 @@
+package broadcast
+
+import (
+	"testing"
+
+	"sinrcast/internal/network"
+)
+
+// checkCausality verifies the physical-possibility oracle: every
+// informed non-source station must have some station within metric
+// distance 1 (the absolute reception range) that was informed strictly
+// earlier — otherwise the simulation delivered a message that could not
+// have been sent.
+func checkCausality(t *testing.T, net *network.Network, informTime []int, sources map[int]bool) {
+	t.Helper()
+	n := net.N()
+	for i := 0; i < n; i++ {
+		if informTime[i] < 0 || sources[i] {
+			continue
+		}
+		ok := false
+		for j := 0; j < n; j++ {
+			if j != i && informTime[j] >= 0 && informTime[j] < informTime[i] && net.Space.Dist(i, j) <= 1 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("station %d informed at %d with no earlier-informed station in range 1", i, informTime[i])
+		}
+	}
+}
+
+func TestNoSCausality(t *testing.T) {
+	net := genUniform(t, 64, 8, 21)
+	res, err := RunNoS(net, cfgFor(net), 9, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllInformed {
+		t.Fatal("incomplete")
+	}
+	checkCausality(t, net, res.InformTime, map[int]bool{0: true})
+}
+
+func TestSCausality(t *testing.T) {
+	net := genUniform(t, 64, 8, 23)
+	res, err := RunS(net, cfgFor(net), 9, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllInformed {
+		t.Fatal("incomplete")
+	}
+	checkCausality(t, net, res.InformTime, map[int]bool{0: true})
+}
+
+func TestMultiSourceCausality(t *testing.T) {
+	net := genUniform(t, 48, 8, 25)
+	wakeAt := make([]int, net.N())
+	for i := range wakeAt {
+		wakeAt[i] = -1
+	}
+	sources := map[int]bool{0: true, 20: true, 40: true}
+	for s := range sources {
+		wakeAt[s] = 0
+	}
+	res, err := RunNoSMulti(net, cfgFor(net), 9, wakeAt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllInformed {
+		t.Fatal("incomplete")
+	}
+	checkCausality(t, net, res.InformTime, sources)
+}
+
+func TestMultiSourceStaggeredCausality(t *testing.T) {
+	// Spontaneous wakes count as sources from their wake time onward:
+	// check causality treating them as sources.
+	net := genUniform(t, 48, 8, 27)
+	cfg := cfgFor(net)
+	wakeAt := make([]int, net.N())
+	for i := range wakeAt {
+		wakeAt[i] = -1
+	}
+	sources := map[int]bool{3: true, 30: true}
+	wakeAt[3] = 0
+	wakeAt[30] = cfg.PhaseLen() + 17
+	res, err := RunNoSMulti(net, cfg, 9, wakeAt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllInformed {
+		t.Fatal("incomplete")
+	}
+	// Station 30 may be informed by reception before its spontaneous
+	// wake; either way, its inform time needs no earlier neighbor only
+	// if it equals its wake time.
+	if res.InformTime[30] != wakeAt[30] {
+		sources = map[int]bool{3: true}
+	}
+	checkCausality(t, net, res.InformTime, sources)
+}
+
+func TestRunNoSMultiErrors(t *testing.T) {
+	net := genPath(t, 8, 1)
+	cfg := cfgFor(net)
+	if _, err := RunNoSMulti(net, cfg, 1, make([]int, 3), 0); err == nil {
+		t.Fatal("want error for wrong wakeAt length")
+	}
+	all := make([]int, net.N())
+	for i := range all {
+		all[i] = -1
+	}
+	if _, err := RunNoSMulti(net, cfg, 1, all, 0); err == nil {
+		t.Fatal("want error when nobody wakes")
+	}
+	bad := make([]int, net.N())
+	bad[0] = -7
+	if _, err := RunNoSMulti(net, cfg, 1, bad, 0); err == nil {
+		t.Fatal("want error for invalid wake time")
+	}
+}

@@ -1,0 +1,89 @@
+package broadcast
+
+import (
+	"fmt"
+
+	"sinrcast/internal/network"
+	"sinrcast/internal/stats"
+)
+
+// HopProgress summarizes how a broadcast swept the network: for every
+// BFS layer (hop distance from the source) the inform-time statistics.
+// The per-layer medians must be non-decreasing in any correct execution
+// — a useful integration-test oracle and a per-hop latency measurement.
+type HopProgress struct {
+	// Layer[k] summarizes inform times of stations at hop distance k.
+	Layer []stats.Summary
+	// PerHop is the fitted rounds-per-hop slope over layer medians.
+	PerHop float64
+}
+
+// Progress computes the hop-layer progress of a completed broadcast.
+// Stations never informed are skipped; unreachable stations (hop -1)
+// are ignored.
+func Progress(net *network.Network, source int, informTime []int) (*HopProgress, error) {
+	if source < 0 || source >= net.N() {
+		return nil, fmt.Errorf("broadcast: source %d out of range", source)
+	}
+	if len(informTime) != net.N() {
+		return nil, fmt.Errorf("broadcast: informTime has %d entries for %d stations", len(informTime), net.N())
+	}
+	dist := net.BFS(source)
+	maxHop := 0
+	for _, d := range dist {
+		if d > maxHop {
+			maxHop = d
+		}
+	}
+	buckets := make([][]float64, maxHop+1)
+	for i, d := range dist {
+		if d < 0 || informTime[i] < 0 {
+			continue
+		}
+		buckets[d] = append(buckets[d], float64(informTime[i]))
+	}
+	hp := &HopProgress{Layer: make([]stats.Summary, maxHop+1)}
+	var xs, ys []float64
+	for k, b := range buckets {
+		hp.Layer[k] = stats.Summarize(b)
+		if len(b) > 0 {
+			xs = append(xs, float64(k))
+			ys = append(ys, hp.Layer[k].Median)
+		}
+	}
+	_, slope, _ := stats.LinFit(xs, ys)
+	hp.PerHop = slope
+	return hp, nil
+}
+
+// MonotoneWithin reports whether layer medians are non-decreasing up to
+// the given slack in rounds (phased protocols inform whole phases at a
+// time, so exact monotonicity holds only up to a phase length).
+func (hp *HopProgress) MonotoneWithin(slack float64) bool {
+	prev := -1.0
+	for _, l := range hp.Layer {
+		if l.N == 0 {
+			continue
+		}
+		if l.Median+slack < prev {
+			return false
+		}
+		if l.Median > prev {
+			prev = l.Median
+		}
+	}
+	return true
+}
+
+// String renders one line per layer.
+func (hp *HopProgress) String() string {
+	t := stats.NewTable("hop progress", "hop", "stations", "median-informed", "p90")
+	for k, l := range hp.Layer {
+		if l.N == 0 {
+			continue
+		}
+		t.AddRow(k, l.N, l.Median, l.P90)
+	}
+	t.AddRow("slope", "", fmt.Sprintf("%.1f rounds/hop", hp.PerHop), "")
+	return t.String()
+}

@@ -1,0 +1,120 @@
+package broadcast
+
+import (
+	"strings"
+	"testing"
+
+	"sinrcast/internal/network"
+	"sinrcast/internal/sim"
+	"sinrcast/internal/sinr"
+)
+
+func TestProgressOnPath(t *testing.T) {
+	net := genPath(t, 24, 3)
+	cfg := cfgFor(net)
+	res, err := RunNoS(net, cfg, 5, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllInformed {
+		t.Fatal("incomplete")
+	}
+	hp, err := Progress(net, 0, res.InformTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hp.Layer) != 24 {
+		t.Fatalf("layers = %d, want 24", len(hp.Layer))
+	}
+	if hp.Layer[0].N != 1 || hp.Layer[0].Median != 0 {
+		t.Fatalf("source layer = %+v", hp.Layer[0])
+	}
+	// Phased protocol: monotone up to one phase length.
+	if !hp.MonotoneWithin(float64(cfg.PhaseLen())) {
+		t.Fatalf("hop progress not monotone within a phase:\n%s", hp)
+	}
+	if hp.PerHop <= 0 {
+		t.Fatalf("per-hop slope = %v", hp.PerHop)
+	}
+	if !strings.Contains(hp.String(), "rounds/hop") {
+		t.Fatal("String() missing slope")
+	}
+}
+
+func TestProgressErrors(t *testing.T) {
+	net := genPath(t, 8, 1)
+	if _, err := Progress(net, -1, make([]int, 8)); err == nil {
+		t.Fatal("want error for bad source")
+	}
+	if _, err := Progress(net, 0, make([]int, 3)); err == nil {
+		t.Fatal("want error for truncated inform times")
+	}
+}
+
+func TestProgressSkipsUninformed(t *testing.T) {
+	net := genPath(t, 6, 1)
+	it := []int{0, 5, -1, 9, -1, 12}
+	hp, err := Progress(net, 0, it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hp.Layer[2].N != 0 || hp.Layer[4].N != 0 {
+		t.Fatal("uninformed stations should be skipped")
+	}
+	if hp.Layer[3].N != 1 {
+		t.Fatalf("layer 3 = %+v", hp.Layer[3])
+	}
+}
+
+func TestMonotoneWithinDetectsViolation(t *testing.T) {
+	// A 3-path with inverted inform times: hop 1 informed after hop 2.
+	net := genPath(t, 3, 1)
+	hpReal, err := Progress(net, 0, []int{0, 100, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hpReal.MonotoneWithin(10) {
+		t.Fatal("violation of 50 rounds not detected with slack 10")
+	}
+	if !hpReal.MonotoneWithin(60) {
+		t.Fatal("slack 60 should accept")
+	}
+}
+
+func TestChannelOverrideIsUsed(t *testing.T) {
+	// A channel that never delivers: broadcast must fail.
+	net := genPath(t, 6, 1)
+	cfg := cfgFor(net)
+	cfg.MaxRounds = 500
+	cfg.Channel = func(n *network.Network) (sim.Resolver, error) {
+		return deadChannel{n: n.N()}, nil
+	}
+	res, err := RunNoS(net, cfg, 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllInformed {
+		t.Fatal("dead channel delivered messages")
+	}
+}
+
+// deadChannel drops everything.
+type deadChannel struct{ n int }
+
+func (d deadChannel) Resolve([]int) []sinr.Reception { return nil }
+func (d deadChannel) N() int                         { return d.n }
+
+func TestChannelFadingCompletes(t *testing.T) {
+	net := genUniform(t, 48, 8, 5)
+	cfg := cfgFor(net)
+	cfg.Channel = func(n *network.Network) (sim.Resolver, error) {
+		return sinr.NewFadingEngine(n.Space, n.Params, 123)
+	}
+	res, err := RunS(net, cfg, 3, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllInformed {
+		t.Fatalf("fading broadcast incomplete after %d rounds", res.Rounds)
+	}
+}

@@ -1,0 +1,147 @@
+package broadcast
+
+import (
+	"fmt"
+
+	"sinrcast/internal/coloring"
+	"sinrcast/internal/network"
+	"sinrcast/internal/rng"
+	"sinrcast/internal/sim"
+	"sinrcast/internal/sinr"
+)
+
+// sbStation is the per-station SBroadcast state machine (§4.2).
+//
+// With spontaneous wake-up all stations run StabilizeProbability once,
+// together, as a preprocessing step (the "communication backbone").
+// Right after it the source transmits deterministically in a silent
+// round, and from then on every informed station transmits with its
+// Fact 11 probability each round, so the message advances one hop per
+// O(log n) rounds in expectation: O(D·log n + log² n) in total.
+type sbStation struct {
+	cfg     *Config
+	machine *coloring.Machine
+	rnd     *rng.Source
+	payload int64
+	source  bool
+
+	informed   bool
+	informedAt int
+	txProb     float64
+}
+
+var _ sim.Protocol = (*sbStation)(nil)
+
+// Tick implements sim.Protocol.
+func (s *sbStation) Tick(t int) (bool, sim.Message) {
+	colorLen := s.cfg.Coloring.TotalRounds()
+	switch {
+	case t < colorLen:
+		if s.machine.Tick(t) {
+			return true, sim.Message{Kind: KindColoring, A: s.payload}
+		}
+		return false, sim.Message{}
+	case t == colorLen:
+		// The dedicated source round: everyone else stays silent (the
+		// schedule is known to all in the spontaneous model).
+		s.machine.Finish()
+		s.txProb = s.cfg.TxProb(s.machine.Color())
+		if s.source {
+			return true, sim.Message{Kind: KindData, A: s.payload}
+		}
+		return false, sim.Message{}
+	default:
+		if s.informed && s.rnd.Bernoulli(s.txProb) {
+			return true, sim.Message{Kind: KindData, A: s.payload}
+		}
+		return false, sim.Message{}
+	}
+}
+
+// Recv implements sim.Protocol.
+func (s *sbStation) Recv(t int, msg sim.Message) {
+	colorLen := s.cfg.Coloring.TotalRounds()
+	if t < colorLen {
+		s.machine.OnRecv(t)
+		return
+	}
+	// Dissemination traffic informs; coloring is already over.
+	if msg.Kind == KindData && !s.informed {
+		s.informed = true
+		s.informedAt = t
+	}
+}
+
+// RunS executes SBroadcast from the given source and returns the result.
+// The preprocessing coloring rounds are included in Result.Rounds, as in
+// Theorem 2's O(D log n + log² n) accounting.
+func RunS(net *network.Network, cfg Config, seed uint64, source int, payload int64) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := net.N()
+	if source < 0 || source >= n {
+		return nil, fmt.Errorf("broadcast: source %d out of range [0,%d)", source, n)
+	}
+	if cfg.Coloring.N != n {
+		return nil, fmt.Errorf("broadcast: config sized for %d stations, network has %d", cfg.Coloring.N, n)
+	}
+	phys, err := cfg.channel(net)
+	if err != nil {
+		return nil, err
+	}
+	root := rng.New(seed)
+	stations := make([]*sbStation, n)
+	protos := make([]sim.Protocol, n)
+	for i := 0; i < n; i++ {
+		m, err := coloring.NewMachine(cfg.Coloring, root.Split(uint64(i)).Split(1))
+		if err != nil {
+			return nil, err
+		}
+		st := &sbStation{
+			cfg:        &cfg,
+			machine:    m,
+			rnd:        root.Split(uint64(i)),
+			payload:    payload,
+			source:     i == source,
+			informedAt: -1,
+		}
+		if st.source {
+			st.informed = true
+			st.informedAt = 0
+		}
+		stations[i] = st
+		protos[i] = st
+	}
+	eng, err := sim.NewEngine(phys, protos)
+	if err != nil {
+		return nil, err
+	}
+
+	remaining := n - 1
+	lastInformRound := 0
+	eng.SetTracer(tracerFunc(func(t int, _ []int, rec []sinr.Reception) {
+		for _, rc := range rec {
+			if stations[rc.Receiver].informedAt == t {
+				remaining--
+				lastInformRound = t + 1
+			}
+		}
+	}))
+	eng.Run(defaultBudget(cfg, net), func() bool { return remaining == 0 })
+
+	res := &Result{
+		AllInformed: remaining == 0,
+		InformTime:  make([]int, n),
+		Metrics:     eng.Metrics,
+	}
+	if res.AllInformed {
+		res.Rounds = lastInformRound
+	} else {
+		res.Rounds = eng.Metrics.Rounds
+	}
+	for i, st := range stations {
+		res.InformTime[i] = st.informedAt
+	}
+	return res, nil
+}

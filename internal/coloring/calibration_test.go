@@ -1,0 +1,62 @@
+package coloring
+
+import (
+	"testing"
+
+	"sinrcast/internal/netgen"
+	"sinrcast/internal/network"
+	"sinrcast/internal/sinr"
+)
+
+// calibrationNets returns the network families the defaults must handle.
+func calibrationNets(t testing.TB, seed uint64) map[string]*network.Network {
+	t.Helper()
+	cfg := netgen.Config{Params: sinr.DefaultParams(), Seed: seed}
+	nets := map[string]*network.Network{}
+	var err error
+	if nets["uniform-sparse"], err = netgen.Uniform(cfg, 128, 6); err != nil {
+		t.Fatal(err)
+	}
+	if nets["uniform-dense"], err = netgen.Uniform(cfg, 256, 24); err != nil {
+		t.Fatal(err)
+	}
+	if nets["clusters"], err = netgen.Clusters(cfg, 4, 24, 0.08, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if nets["path"], err = netgen.Path(cfg, 48, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if nets["expchain"], err = netgen.ExponentialChain(cfg, 48, 0.5, 0.75); err != nil {
+		t.Fatal(err)
+	}
+	return nets
+}
+
+// TestCalibrationReport prints the invariant landscape; run with -v to
+// inspect. It asserts only sanity (colors assigned, palette small).
+func TestCalibrationReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration report skipped in -short")
+	}
+	for name, net := range calibrationNets(t, 42) {
+		par := DefaultParams(net.N(), net.Space.Growth(), net.Params.Eps)
+		res, err := Run(net, par, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l1 := CheckLemma1(net, res.Colors)
+		l2 := CheckLemma2(net, res.Colors)
+		pal := Palette(res.Colors)
+		quit := 0
+		for _, ph := range res.QuitPhase {
+			if ph >= 0 {
+				quit++
+			}
+		}
+		t.Logf("%-14s n=%3d rounds=%5d colors=%2d quitEarly=%3d  L1max=%.4f (C1=%.3f)  L2min=%.5f (2pmax=%.5f)",
+			name, net.N(), res.Rounds, len(pal), quit, l1.MaxMass, par.C1, l2.MinBestMass, par.FinalColor())
+		if len(pal) == 0 || len(pal) > par.NumColors() {
+			t.Fatalf("%s: palette size %d out of range [1,%d]", name, len(pal), par.NumColors())
+		}
+	}
+}

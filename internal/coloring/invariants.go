@@ -1,0 +1,112 @@
+package coloring
+
+import (
+	"math"
+	"sort"
+
+	"sinrcast/internal/network"
+)
+
+// Lemma1Stat reports the heaviest same-color unit ball of a coloring:
+// the quantity Lemma 1 bounds by C1.
+type Lemma1Stat struct {
+	// MaxMass is max over stations v and colors p of
+	// Σ_{w ∈ B(v,1), color(w)=p} color(w).
+	MaxMass float64
+	// Station and Color identify the maximizing ball.
+	Station int
+	Color   float64
+}
+
+// CheckLemma1 measures the Lemma 1 invariant over balls centered at
+// stations (every violating ball contains a station whose centered ball
+// has at least mass/2^γ of it, so station-centered balls are the right
+// discrete proxy).
+func CheckLemma1(net *network.Network, colors []float64) Lemma1Stat {
+	n := net.N()
+	var best Lemma1Stat
+	mass := map[float64]float64{}
+	for v := 0; v < n; v++ {
+		clear(mass)
+		for w := 0; w < n; w++ {
+			if net.Space.Dist(v, w) <= 1 {
+				mass[colors[w]] += colors[w]
+			}
+		}
+		for c, m := range mass {
+			if m > best.MaxMass {
+				best = Lemma1Stat{MaxMass: m, Station: v, Color: c}
+			}
+		}
+	}
+	return best
+}
+
+// Lemma2Stat reports the weakest station of a coloring: the quantity
+// Lemma 2 bounds from below by C2.
+type Lemma2Stat struct {
+	// MinBestMass is min over stations v of max over colors p of
+	// Σ_{w ∈ B(v, ε/2), color(w)=p} color(w).
+	MinBestMass float64
+	// Station is the minimizing station; BestColor its best color.
+	Station   int
+	BestColor float64
+}
+
+// CheckLemma2 measures the Lemma 2 invariant: every station must have
+// some color with constant probability mass inside its ε/2-ball (which
+// always includes the station itself).
+func CheckLemma2(net *network.Network, colors []float64) Lemma2Stat {
+	n := net.N()
+	radius := net.Params.Eps / 2
+	best := Lemma2Stat{MinBestMass: math.Inf(1), Station: -1}
+	mass := map[float64]float64{}
+	for v := 0; v < n; v++ {
+		clear(mass)
+		for w := 0; w < n; w++ {
+			if net.Space.Dist(v, w) <= radius {
+				mass[colors[w]] += colors[w]
+			}
+		}
+		vBest, vColor := 0.0, 0.0
+		for c, m := range mass {
+			if m > vBest {
+				vBest, vColor = m, c
+			}
+		}
+		if vBest < best.MinBestMass {
+			best = Lemma2Stat{MinBestMass: vBest, Station: v, BestColor: vColor}
+		}
+	}
+	return best
+}
+
+// Palette returns the distinct colors of a coloring in increasing order.
+func Palette(colors []float64) []float64 {
+	seen := map[float64]bool{}
+	var out []float64
+	for _, c := range colors {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// TotalMassPerBall returns, for each station v, the all-colors mass
+// Σ_{w ∈ B(v,1)} color(w): the interference budget the broadcast part
+// relies on (per-color Lemma 1 times the palette size bounds it).
+func TotalMassPerBall(net *network.Network, colors []float64) []float64 {
+	n := net.N()
+	out := make([]float64, n)
+	for v := 0; v < n; v++ {
+		for w := 0; w < n; w++ {
+			if net.Space.Dist(v, w) <= 1 {
+				out[v] += colors[w]
+			}
+		}
+	}
+	return out
+}

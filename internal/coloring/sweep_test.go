@@ -1,0 +1,46 @@
+package coloring
+
+import (
+	"testing"
+)
+
+// TestConstantSweep explores the (CEps, DTThresh) landscape; -v prints a
+// table of worst-case invariants across network families. Diagnostic
+// only: it never fails. Used to pick DefaultParams.
+func TestConstantSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic sweep")
+	}
+	nets := calibrationNets(t, 42)
+	for _, ceps := range []float64{36, 72, 144} {
+		for _, dtt := range []float64{0.5, 1.0} {
+			worstL1, worstL2ratio := 0.0, 1e9
+			for name, net := range nets {
+				par := DefaultParams(net.N(), net.Space.Growth(), net.Params.Eps)
+				par.CEps = ceps
+				par.PMax = 1 / (2 * ceps)
+				par.DTThresh = dtt
+				par.POThresh = dtt
+				if par.PStart() >= par.PMax {
+					t.Logf("ceps=%.0f dtt=%.2f %s: skipped (pstart>=pmax)", ceps, dtt, name)
+					continue
+				}
+				res, err := Run(net, par, 7)
+				if err != nil {
+					t.Fatal(err)
+				}
+				l1 := CheckLemma1(net, res.Colors)
+				l2 := CheckLemma2(net, res.Colors)
+				ratio := l2.MinBestMass / par.FinalColor()
+				if l1.MaxMass > worstL1 {
+					worstL1 = l1.MaxMass
+				}
+				if ratio < worstL2ratio {
+					worstL2ratio = ratio
+				}
+				t.Logf("ceps=%3.0f dtt=%.2f %-14s L1=%.3f L2/2pmax=%.3f", ceps, dtt, name, l1.MaxMass, ratio)
+			}
+			t.Logf("ceps=%3.0f dtt=%.2f  => worstL1=%.3f worstL2ratio=%.3f", ceps, dtt, worstL1, worstL2ratio)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package exp
+
+import (
+	"fmt"
+
+	"sinrcast/internal/broadcast"
+	"sinrcast/internal/coloring"
+	"sinrcast/internal/netgen"
+	"sinrcast/internal/network"
+	"sinrcast/internal/sim"
+	"sinrcast/internal/sinr"
+	"sinrcast/internal/stats"
+)
+
+// E10ModelRobustness runs SBroadcast over three channel models: the
+// paper's exact SINR channel, a Rayleigh-fading channel, and the
+// weak-device channel of [16] (receptions beyond 1-ε dropped). The
+// algorithms are unchanged — only the physical layer differs — so this
+// measures how sensitive the paper's guarantees are to the channel
+// abstraction.
+func E10ModelRobustness(cfg Config) (*stats.Table, error) {
+	gen := netgen.Config{Params: physParams(), Seed: cfg.Seed}
+	net, err := netgen.Uniform(gen, cfg.scaled(96, 32), 8)
+	if err != nil {
+		return nil, err
+	}
+	d, _ := net.Diameter()
+	t := stats.NewTable(
+		fmt.Sprintf("E10: SBroadcast under channel variations, uniform n=%d (D=%d)", net.N(), d),
+		"channel", "median-rounds", "fails")
+
+	channels := []struct {
+		name string
+		mk   func(*network.Network) (sim.Resolver, error)
+	}{
+		{"exact-sinr (paper)", nil},
+		{"rayleigh-fading", func(n *network.Network) (sim.Resolver, error) {
+			return sinr.NewFadingEngine(n.Space, n.Params, cfg.Seed+99)
+		}},
+		{"weak-device [16]", func(n *network.Network) (sim.Resolver, error) {
+			return sinr.NewWeakDeviceEngine(n.Space, n.Params, n.Params.CommRadius())
+		}},
+	}
+	for _, ch := range channels {
+		bc := bcastCfg(net)
+		bc.Channel = ch.mk
+		med, fails, err := medianRounds(cfg.trials(), cfg.Seed+41, func(seed uint64) (*broadcast.Result, error) {
+			return broadcast.RunS(net, bc, seed, 0, 1)
+		})
+		if err != nil {
+			// A channel that defeats the algorithm entirely is itself a
+			// result; report it rather than failing the experiment.
+			t.AddRow(ch.name, "did not complete", cfg.trials())
+			continue
+		}
+		t.AddRow(ch.name, med, fails)
+	}
+	return t, nil
+}
+
+// E11ColoringAblation measures the two design choices DESIGN.md calls
+// out: the Playoff scale-up cε (the "interference wall") and the
+// Confirm amplification. For each variant it reports the Lemma 1 and
+// Lemma 2 invariants on the dense-uniform family — the setting that
+// stresses both mechanisms.
+func E11ColoringAblation(cfg Config) (*stats.Table, error) {
+	gen := netgen.Config{Params: physParams(), Seed: cfg.Seed}
+	net, err := netgen.Uniform(gen, cfg.scaled(256, 48), 32)
+	if err != nil {
+		return nil, err
+	}
+	base := coloring.DefaultParams(net.N(), net.Space.Growth(), net.Params.Eps)
+	t := stats.NewTable(
+		fmt.Sprintf("E11: coloring ablation, dense uniform n=%d", net.N()),
+		"variant", "L1 maxMass", "L2 min/2pmax", "rounds")
+
+	variants := []struct {
+		name   string
+		mutate func(*coloring.Params)
+	}{
+		{"default (ceps=144, confirm=2)", func(*coloring.Params) {}},
+		{"weak wall (ceps=36)", func(p *coloring.Params) {
+			p.CEps = 36
+			p.PMax = 1 / (2 * p.CEps)
+		}},
+		{"no amplification (confirm=1)", func(p *coloring.Params) { p.Confirm = 1 }},
+		{"single iteration (cprime=1, confirm=1)", func(p *coloring.Params) {
+			p.CPrime = 1
+			p.Confirm = 1
+		}},
+	}
+	for _, v := range variants {
+		par := base
+		v.mutate(&par)
+		if err := par.Validate(); err != nil {
+			return nil, fmt.Errorf("E11 %s: %w", v.name, err)
+		}
+		worstL1, worstL2 := 0.0, 1e18
+		for tr := 0; tr < cfg.trials(); tr++ {
+			res, err := coloring.Run(net, par, cfg.Seed+uint64(tr)*77)
+			if err != nil {
+				return nil, err
+			}
+			if m := coloring.CheckLemma1(net, res.Colors).MaxMass; m > worstL1 {
+				worstL1 = m
+			}
+			if r := coloring.CheckLemma2(net, res.Colors).MinBestMass / par.FinalColor(); r < worstL2 {
+				worstL2 = r
+			}
+		}
+		t.AddRow(v.name, fmt.Sprintf("%.3f", worstL1), fmt.Sprintf("%.3f", worstL2), par.TotalRounds())
+	}
+	return t, nil
+}

@@ -1,0 +1,241 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDist(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want float64
+	}{
+		{"same point", Point{1, 2}, Point{1, 2}, 0},
+		{"unit x", Point{0, 0}, Point{1, 0}, 1},
+		{"unit y", Point{0, 0}, Point{0, 1}, 1},
+		{"3-4-5", Point{0, 0}, Point{3, 4}, 5},
+		{"negative coords", Point{-1, -1}, Point{2, 3}, 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Dist(tt.q); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("Dist = %v, want %v", got, tt.want)
+			}
+			if got := tt.p.Dist2(tt.q); math.Abs(got-tt.want*tt.want) > 1e-12 {
+				t.Errorf("Dist2 = %v, want %v", got, tt.want*tt.want)
+			}
+		})
+	}
+}
+
+func TestPointDistSymmetric(t *testing.T) {
+	if err := quick.Check(func(ax, ay, bx, by float64) bool {
+		p := Point{clamp(ax), clamp(ay)}
+		q := Point{clamp(bx), clamp(by)}
+		return math.Abs(p.Dist(q)-q.Dist(p)) < 1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clamp(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 1e6)
+}
+
+func TestEuclideanSpace(t *testing.T) {
+	e := NewEuclidean([]Point{{0, 0}, {1, 0}, {0, 1}, {1, 1}})
+	if e.Len() != 4 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+	if g := e.Growth(); g != 2 {
+		t.Fatalf("Growth = %v", g)
+	}
+	if d := e.Dist(0, 3); math.Abs(d-math.Sqrt2) > 1e-12 {
+		t.Fatalf("Dist(0,3) = %v", d)
+	}
+	if p := e.Position(2); p != (Point{0, 1}) {
+		t.Fatalf("Position(2) = %v", p)
+	}
+	if err := CheckMetric(e); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineSpace(t *testing.T) {
+	l := NewLine([]float64{0, 0.5, 2, -1})
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if g := l.Growth(); g != 1 {
+		t.Fatalf("Growth = %v", g)
+	}
+	if d := l.Dist(2, 3); d != 3 {
+		t.Fatalf("Dist(2,3) = %v", d)
+	}
+	if p := l.Position(1); p != (Point{X: 0.5}) {
+		t.Fatalf("Position = %v", p)
+	}
+	if err := CheckMetric(l); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixSpaceValid(t *testing.T) {
+	d := [][]float64{
+		{0, 1, 2},
+		{1, 0, 1},
+		{2, 1, 0},
+	}
+	m, err := NewMatrixSpace(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dist(0, 2) != 2 {
+		t.Fatalf("Dist(0,2) = %v", m.Dist(0, 2))
+	}
+	if m.Position(0) != (Point{}) {
+		t.Fatal("Position without embed should be origin")
+	}
+	m.Embed = []Point{{1, 1}, {2, 2}, {3, 3}}
+	if m.Position(1) != (Point{2, 2}) {
+		t.Fatal("Position with embed wrong")
+	}
+}
+
+func TestMatrixSpaceRejectsInvalid(t *testing.T) {
+	tests := []struct {
+		name string
+		d    [][]float64
+	}{
+		{"ragged", [][]float64{{0, 1}, {1}}},
+		{"nonzero diagonal", [][]float64{{1, 1}, {1, 0}}},
+		{"asymmetric", [][]float64{{0, 1}, {2, 0}}},
+		{"negative", [][]float64{{0, -1}, {-1, 0}}},
+		{"triangle violation", [][]float64{
+			{0, 1, 10},
+			{1, 0, 1},
+			{10, 1, 0},
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewMatrixSpace(tt.d, 1); err == nil {
+				t.Fatal("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestBallPoints(t *testing.T) {
+	l := NewLine([]float64{0, 1, 2, 3, 4})
+	got := BallPoints(l, 2, 1.5)
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("BallPoints = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("BallPoints = %v, want %v", got, want)
+		}
+	}
+	if c := BallCount(l, 2, 1.5); c != 3 {
+		t.Fatalf("BallCount = %d", c)
+	}
+	// Ball always contains its own center.
+	for i := 0; i < l.Len(); i++ {
+		if BallCount(l, i, 0) != 1 {
+			t.Fatalf("BallCount(i,0) != 1 at %d", i)
+		}
+	}
+}
+
+func TestCoverNumberLine(t *testing.T) {
+	// 9 points spaced 0.5 apart: a ball of radius 2 around the middle has
+	// 9 points spanning [0,4]; radius-0.5 balls cover 2 neighbors each.
+	coords := make([]float64, 9)
+	for i := range coords {
+		coords[i] = float64(i) * 0.5
+	}
+	l := NewLine(coords)
+	chi := CoverNumber(l, 4, 2, 0.5)
+	if chi < 3 || chi > 5 {
+		t.Fatalf("CoverNumber = %d, want 3..5", chi)
+	}
+	// Covering with balls of the same radius takes exactly 1 ball.
+	if chi := CoverNumber(l, 4, 1, 2.5); chi != 1 {
+		t.Fatalf("CoverNumber same radius = %d, want 1", chi)
+	}
+}
+
+func TestGrowthWitnessEuclideanGrid(t *testing.T) {
+	// A dense grid in the plane: χ(c·d, d) should grow like c², so the
+	// normalized witness stays bounded by a small constant.
+	var pts []Point
+	for x := -10; x <= 10; x++ {
+		for y := -10; y <= 10; y++ {
+			pts = append(pts, Point{float64(x) / 2, float64(y) / 2})
+		}
+	}
+	e := NewEuclidean(pts)
+	center := len(pts) / 2
+	w := GrowthWitness(e, center, 1, []int{1, 2, 4})
+	if w > 6 {
+		t.Fatalf("growth witness %v too large for the plane", w)
+	}
+}
+
+func TestGrowthWitnessLine(t *testing.T) {
+	coords := make([]float64, 101)
+	for i := range coords {
+		coords[i] = float64(i) * 0.1
+	}
+	l := NewLine(coords)
+	w := GrowthWitness(l, 50, 0.5, []int{1, 2, 4, 8})
+	if w > 4 {
+		t.Fatalf("growth witness %v too large for the line", w)
+	}
+}
+
+func TestPackingNumber(t *testing.T) {
+	coords := []float64{0, 1, 2, 3, 4}
+	l := NewLine(coords)
+	// 1-separated points within radius 2 of point 2: greedy picks every
+	// point since spacing is exactly 1.
+	if p := PackingNumber(l, 2, 2, 1); p != 5 {
+		t.Fatalf("PackingNumber = %d, want 5", p)
+	}
+	// 3-separated: at most 2 fit in [0,4].
+	if p := PackingNumber(l, 2, 2, 3); p < 1 || p > 2 {
+		t.Fatalf("PackingNumber(sep=3) = %d", p)
+	}
+}
+
+func TestMinPairwiseDist(t *testing.T) {
+	l := NewLine([]float64{0, 10, 10.25, 20})
+	d, i, j := MinPairwiseDist(l)
+	if math.Abs(d-0.25) > 1e-12 {
+		t.Fatalf("min dist = %v", d)
+	}
+	if i != 1 || j != 2 {
+		t.Fatalf("pair = (%d,%d), want (1,2)", i, j)
+	}
+	if d, i, j := MinPairwiseDist(NewLine([]float64{5})); d != 0 || i != -1 || j != -1 {
+		t.Fatal("single point should return zero value")
+	}
+}
+
+func TestCheckMetricCatchesViolation(t *testing.T) {
+	m := &MatrixSpace{D: [][]float64{
+		{0, 1, 5},
+		{1, 0, 1},
+		{5, 1, 0},
+	}, Degree: 1}
+	if err := CheckMetric(m); err == nil {
+		t.Fatal("CheckMetric accepted a triangle violation")
+	}
+}

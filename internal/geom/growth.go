@@ -1,0 +1,116 @@
+package geom
+
+import "math"
+
+// BallPoints returns the indices of all points within distance r of
+// point i (inclusive), including i itself. It is the discrete ball
+// B(v, r) of the paper.
+func BallPoints(s Space, i int, r float64) []int {
+	var out []int
+	for j := 0; j < s.Len(); j++ {
+		if s.Dist(i, j) <= r {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// BallCount returns |B(i, r)| without allocating.
+func BallCount(s Space, i int, r float64) int {
+	c := 0
+	for j := 0; j < s.Len(); j++ {
+		if s.Dist(i, j) <= r {
+			c++
+		}
+	}
+	return c
+}
+
+// CoverNumber estimates χ(a, b): the number of balls of radius b needed
+// to cover the points of a ball of radius a centered at i, computed by a
+// greedy farthest-point cover over the discrete point set. Greedy gives a
+// cover within the metric's packing bounds, which is what the paper's
+// O(c^γ) accounting needs.
+func CoverNumber(s Space, i int, a, b float64) int {
+	ball := BallPoints(s, i, a)
+	covered := make([]bool, len(ball))
+	count := 0
+	for {
+		// Pick the first uncovered point as a new center.
+		center := -1
+		for k, c := range covered {
+			if !c {
+				center = k
+				break
+			}
+		}
+		if center < 0 {
+			return count
+		}
+		count++
+		for k := range ball {
+			if !covered[k] && s.Dist(ball[center], ball[k]) <= b {
+				covered[k] = true
+			}
+		}
+	}
+}
+
+// GrowthWitness measures the empirical growth exponent of the space at
+// point i: the largest χ(c·d, d) seen over the provided scale pairs,
+// normalized by c^γ. Values near or below 1 are consistent with the
+// declared growth degree (the paper normalizes the hidden constant to 1,
+// §2; we only use this diagnostic in tests, so a small slack is fine).
+func GrowthWitness(s Space, i int, d float64, cs []int) float64 {
+	worst := 0.0
+	for _, c := range cs {
+		if c < 1 {
+			continue
+		}
+		chi := float64(CoverNumber(s, i, float64(c)*d, d))
+		norm := chi / math.Pow(float64(c), s.Growth())
+		if norm > worst {
+			worst = norm
+		}
+	}
+	return worst
+}
+
+// PackingNumber returns the size of a greedy maximal b-separated subset
+// of the ball B(i, a): a lower bound on how many disjoint b/2-balls fit.
+func PackingNumber(s Space, i int, a, b float64) int {
+	ball := BallPoints(s, i, a)
+	var centers []int
+	for _, p := range ball {
+		ok := true
+		for _, c := range centers {
+			if s.Dist(p, c) < b {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			centers = append(centers, p)
+		}
+	}
+	return len(centers)
+}
+
+// MinPairwiseDist returns the smallest nonzero pairwise distance in the
+// space, and the involved pair. Returns (0, -1, -1) for fewer than two
+// points.
+func MinPairwiseDist(s Space) (d float64, i, j int) {
+	n := s.Len()
+	if n < 2 {
+		return 0, -1, -1
+	}
+	d = math.Inf(1)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if dd := s.Dist(a, b); dd < d {
+				d, i, j = dd, a, b
+			}
+		}
+	}
+	return d, i, j
+}

@@ -1,0 +1,180 @@
+// Package geom models the metric spaces of the paper: stations are points
+// in a metric with the bounded growth property of degree γ (§1.1). The
+// Euclidean plane (γ=2) is the common case and has fast specializations;
+// a line metric (γ=1) hosts the exponential-chain worst cases, and an
+// explicit distance-matrix metric supports adversarial unit tests.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the plane. Non-Euclidean spaces embed their
+// points here too (the line uses X only), so simulation code can treat
+// positions uniformly.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance to q.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Dist2 returns the squared Euclidean distance to q.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+func (p Point) String() string { return fmt.Sprintf("(%.4g,%.4g)", p.X, p.Y) }
+
+// Space is a finite metric space over n points indexed 0..n-1.
+//
+// Implementations must be symmetric, satisfy the triangle inequality and
+// have zero self-distance; CheckMetric verifies this for tests.
+type Space interface {
+	// Len returns the number of points.
+	Len() int
+	// Dist returns the distance between points i and j.
+	Dist(i, j int) float64
+	// Growth returns the bounded-growth degree γ of the space.
+	Growth() float64
+	// Position returns a planar embedding of point i (for visualization
+	// and for the fast Euclidean path; only Euclidean implementations
+	// guarantee Dist(i,j) == Position(i).Dist(Position(j))).
+	Position(i int) Point
+}
+
+// Euclidean is the plane R² with γ = 2.
+type Euclidean struct {
+	Pts []Point
+}
+
+var _ Space = (*Euclidean)(nil)
+
+// NewEuclidean wraps pts; the slice is used directly (not copied).
+func NewEuclidean(pts []Point) *Euclidean { return &Euclidean{Pts: pts} }
+
+// Len implements Space.
+func (e *Euclidean) Len() int { return len(e.Pts) }
+
+// Dist implements Space.
+func (e *Euclidean) Dist(i, j int) float64 { return e.Pts[i].Dist(e.Pts[j]) }
+
+// Growth implements Space. The plane has growth degree 2.
+func (e *Euclidean) Growth() float64 { return 2 }
+
+// Position implements Space.
+func (e *Euclidean) Position(i int) Point { return e.Pts[i] }
+
+// Line is the real line with γ = 1. It hosts the paper's footnote-2
+// construction (station i at coordinate Σ 1/2^j) where granularity is
+// exponential in n.
+type Line struct {
+	Coords []float64
+}
+
+var _ Space = (*Line)(nil)
+
+// NewLine wraps coords; the slice is used directly (not copied).
+func NewLine(coords []float64) *Line { return &Line{Coords: coords} }
+
+// Len implements Space.
+func (l *Line) Len() int { return len(l.Coords) }
+
+// Dist implements Space.
+func (l *Line) Dist(i, j int) float64 { return math.Abs(l.Coords[i] - l.Coords[j]) }
+
+// Growth implements Space. The line has growth degree 1.
+func (l *Line) Growth() float64 { return 1 }
+
+// Position implements Space: the line embeds on the x-axis.
+func (l *Line) Position(i int) Point { return Point{X: l.Coords[i]} }
+
+// MatrixSpace is an explicit finite metric given by a distance matrix.
+// It is intended for small adversarial tests; Growth is caller-declared.
+type MatrixSpace struct {
+	D      [][]float64
+	Degree float64
+	Embed  []Point // optional planar embedding for display; may be nil
+}
+
+var _ Space = (*MatrixSpace)(nil)
+
+// NewMatrixSpace builds a MatrixSpace from a full symmetric matrix.
+// It returns an error if the matrix is ragged, asymmetric, has nonzero
+// diagonal, or violates the triangle inequality.
+func NewMatrixSpace(d [][]float64, growth float64) (*MatrixSpace, error) {
+	n := len(d)
+	for i := range d {
+		if len(d[i]) != n {
+			return nil, fmt.Errorf("geom: row %d has length %d, want %d", i, len(d[i]), n)
+		}
+		if d[i][i] != 0 {
+			return nil, fmt.Errorf("geom: nonzero self-distance at %d", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if d[i][j] != d[j][i] {
+				return nil, fmt.Errorf("geom: asymmetric at (%d,%d)", i, j)
+			}
+			if d[i][j] < 0 {
+				return nil, fmt.Errorf("geom: negative distance at (%d,%d)", i, j)
+			}
+		}
+	}
+	m := &MatrixSpace{D: d, Degree: growth}
+	if err := CheckMetric(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Len implements Space.
+func (m *MatrixSpace) Len() int { return len(m.D) }
+
+// Dist implements Space.
+func (m *MatrixSpace) Dist(i, j int) float64 { return m.D[i][j] }
+
+// Growth implements Space.
+func (m *MatrixSpace) Growth() float64 { return m.Degree }
+
+// Position implements Space. Without an embedding all points sit at the
+// origin; distance-based code must use Dist, never Position, for metrics.
+func (m *MatrixSpace) Position(i int) Point {
+	if m.Embed != nil {
+		return m.Embed[i]
+	}
+	return Point{}
+}
+
+// CheckMetric verifies symmetry, zero diagonal and the triangle
+// inequality for every triple. O(n³): test use only.
+func CheckMetric(s Space) error {
+	n := s.Len()
+	const tol = 1e-9
+	for i := 0; i < n; i++ {
+		if d := s.Dist(i, i); d != 0 {
+			return fmt.Errorf("geom: Dist(%d,%d) = %v, want 0", i, i, d)
+		}
+		for j := i + 1; j < n; j++ {
+			if math.Abs(s.Dist(i, j)-s.Dist(j, i)) > tol {
+				return fmt.Errorf("geom: asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				if s.Dist(i, j) > s.Dist(i, k)+s.Dist(k, j)+tol {
+					return fmt.Errorf("geom: triangle violated for (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+	return nil
+}

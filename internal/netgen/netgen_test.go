@@ -1,0 +1,257 @@
+package netgen
+
+import (
+	"math"
+	"testing"
+
+	"sinrcast/internal/sinr"
+)
+
+func cfg(seed uint64) Config {
+	return Config{Params: sinr.DefaultParams(), Seed: seed}
+}
+
+func TestUniformConnected(t *testing.T) {
+	for _, n := range []int{10, 50, 200} {
+		net, err := Uniform(cfg(uint64(n)), n, 8)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if net.N() != n {
+			t.Fatalf("n=%d: got %d stations", n, net.N())
+		}
+		if !net.Connected() {
+			t.Fatalf("n=%d: not connected", n)
+		}
+	}
+}
+
+func TestUniformDeterministicInSeed(t *testing.T) {
+	a, err := Uniform(cfg(7), 60, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Uniform(cfg(7), 60, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.N(); i++ {
+		if a.Space.Position(i) != b.Space.Position(i) {
+			t.Fatalf("station %d position differs between identical seeds", i)
+		}
+	}
+	c, err := Uniform(cfg(8), 60, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < a.N(); i++ {
+		if a.Space.Position(i) != c.Space.Position(i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical layouts")
+	}
+}
+
+func TestUniformRejectsBadN(t *testing.T) {
+	if _, err := Uniform(cfg(1), 0, 8); err == nil {
+		t.Fatal("want error for n=0")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	net, err := Grid(cfg(1), 49, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.N() != 49 || !net.Connected() {
+		t.Fatalf("grid: n=%d connected=%v", net.N(), net.Connected())
+	}
+	// 7x7 lattice with spacing 0.3 and radius 2/3: neighbors up to 2
+	// cells away horizontally (0.6 < 2/3), so degree exceeds 4.
+	if net.MaxDegree() <= 4 {
+		t.Fatalf("grid MaxDegree = %d, expected dense adjacency", net.MaxDegree())
+	}
+	if _, err := Grid(cfg(1), 9, 0); err == nil {
+		t.Fatal("want error for zero spacing")
+	}
+	if _, err := Grid(cfg(1), 9, 10); err == nil {
+		t.Fatal("want error for spacing beyond comm radius")
+	}
+}
+
+func TestPathDiameterScales(t *testing.T) {
+	for _, n := range []int{8, 16, 32} {
+		net, err := Path(cfg(1), n, 0.99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, conn := net.Diameter()
+		if !conn {
+			t.Fatalf("n=%d: disconnected", n)
+		}
+		if d != n-1 {
+			t.Fatalf("n=%d: diameter %d, want %d", n, d, n-1)
+		}
+	}
+	if _, err := Path(cfg(1), 5, 0); err == nil {
+		t.Fatal("want error for zero fraction")
+	}
+	if _, err := Path(cfg(1), 5, 1.5); err == nil {
+		t.Fatal("want error for fraction > 1")
+	}
+}
+
+func TestExponentialChain(t *testing.T) {
+	net, err := ExponentialChain(cfg(1), 16, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !net.Connected() {
+		t.Fatal("chain disconnected")
+	}
+	rs := net.Granularity()
+	if rs < 1000 {
+		t.Fatalf("granularity = %v, want exponential growth", rs)
+	}
+	// The whole tail fits in one ball: diameter stays small.
+	d, _ := net.Diameter()
+	if d > 3 {
+		t.Fatalf("chain diameter = %d, want <= 3", d)
+	}
+	if _, err := ExponentialChain(cfg(1), 4, 0.5, 1.5); err == nil {
+		t.Fatal("want error for ratio >= 1")
+	}
+	if _, err := ExponentialChain(cfg(1), 4, 5, 0.5); err == nil {
+		t.Fatal("want error for first gap beyond comm radius")
+	}
+}
+
+func TestExponentialChainGranularityControl(t *testing.T) {
+	// Granularity should grow with n for fixed ratio.
+	prev := 0.0
+	for _, n := range []int{6, 10, 14} {
+		net, err := ExponentialChain(cfg(1), n, 0.5, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs := net.Granularity()
+		if rs <= prev {
+			t.Fatalf("granularity not increasing: %v after %v", rs, prev)
+		}
+		prev = rs
+	}
+}
+
+func TestClusteredPath(t *testing.T) {
+	net, err := ClusteredPath(cfg(1), 10, 16, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.N() != 26 || !net.Connected() {
+		t.Fatalf("clustered path: n=%d connected=%v", net.N(), net.Connected())
+	}
+	// Diameter is set by the path, independent of the cluster ratio.
+	dA, _ := net.Diameter()
+	netB, err := ClusteredPath(cfg(1), 10, 16, 0.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dB, _ := netB.Diameter()
+	if dA != dB {
+		t.Fatalf("diameter changed with ratio: %d vs %d", dA, dB)
+	}
+	// Granularity grows as the ratio shrinks.
+	if netB.Granularity() <= net.Granularity() {
+		t.Fatalf("granularity not increasing: %v vs %v", netB.Granularity(), net.Granularity())
+	}
+	if _, err := ClusteredPath(cfg(1), 1, 4, 0.5); err == nil {
+		t.Fatal("want error for short path")
+	}
+	if _, err := ClusteredPath(cfg(1), 4, 0, 0.5); err == nil {
+		t.Fatal("want error for empty cluster")
+	}
+	if _, err := ClusteredPath(cfg(1), 4, 4, 1.0); err == nil {
+		t.Fatal("want error for ratio 1")
+	}
+}
+
+func TestClusters(t *testing.T) {
+	net, err := Clusters(cfg(3), 4, 20, 0.1, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.N() != 80 {
+		t.Fatalf("N = %d, want 80", net.N())
+	}
+	if !net.Connected() {
+		t.Fatal("clusters disconnected")
+	}
+	// Density contrast: max degree (inside a cluster) far exceeds the
+	// minimum (hub-to-hub only stations do not exist here, but degree
+	// spread should still be wide).
+	if net.MaxDegree() < 19 {
+		t.Fatalf("MaxDegree = %d, want >= cluster size-1", net.MaxDegree())
+	}
+	if _, err := Clusters(cfg(1), 0, 5, 0.1, 0.5); err == nil {
+		t.Fatal("want error for k=0")
+	}
+	if _, err := Clusters(cfg(1), 2, 5, 0.5, 0.5); err == nil {
+		t.Fatal("want error for oversized clusterRadius")
+	}
+	if _, err := Clusters(cfg(1), 2, 5, 0.1, 2); err == nil {
+		t.Fatal("want error for oversized bridgeGap")
+	}
+}
+
+func TestGaussian(t *testing.T) {
+	net, err := Gaussian(cfg(9), 100, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.N() != 100 || !net.Connected() {
+		t.Fatalf("gaussian: n=%d connected=%v", net.N(), net.Connected())
+	}
+	if _, err := Gaussian(cfg(1), 10, 0); err == nil {
+		t.Fatal("want error for sigma=0")
+	}
+}
+
+func TestRandomWalkCorridor(t *testing.T) {
+	net, err := RandomWalkCorridor(cfg(11), 60, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !net.Connected() {
+		t.Fatal("corridor disconnected")
+	}
+	d, _ := net.Diameter()
+	if d < 5 {
+		t.Fatalf("corridor diameter = %d, want a stretched network", d)
+	}
+	if _, err := RandomWalkCorridor(cfg(1), 5, 0); err == nil {
+		t.Fatal("want error for zero step")
+	}
+}
+
+func TestUniformDensityTargeting(t *testing.T) {
+	net, err := Uniform(cfg(13), 400, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean degree should be within a factor ~3 of the requested density.
+	total := 0
+	for i := 0; i < net.N(); i++ {
+		total += net.Degree(i)
+	}
+	mean := float64(total) / float64(net.N())
+	if mean < 3 || mean > 40 {
+		t.Fatalf("mean degree %v wildly off the requested density 10", mean)
+	}
+	if math.IsNaN(mean) {
+		t.Fatal("mean is NaN")
+	}
+}

@@ -1,0 +1,137 @@
+// Package network models a wireless network: stations embedded in a
+// metric space, the communication graph G with edges between stations at
+// distance ≤ 1-ε (§1.1), and the graph statistics the paper's bounds are
+// stated in: diameter D, maximum degree Δ, and granularity Rs.
+package network
+
+import (
+	"fmt"
+	"math"
+
+	"sinrcast/internal/geom"
+	"sinrcast/internal/sinr"
+)
+
+// Network is an immutable deployment of stations plus its communication
+// graph. Build it with New.
+type Network struct {
+	Space  geom.Space
+	Params sinr.Params
+	// Adj is the adjacency list of the communication graph
+	// (edges of metric length ≤ 1-ε), excluding self-loops.
+	Adj [][]int32
+}
+
+// New builds the network and its communication graph. For Euclidean
+// spaces edge discovery is grid-bucketed (O(n·deg)); other metrics use
+// the O(n²) pairwise scan.
+func New(s geom.Space, p sinr.Params) (*Network, error) {
+	if err := p.Validate(s.Growth()); err != nil {
+		return nil, err
+	}
+	n := s.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("network: empty station set")
+	}
+	net := &Network{Space: s, Params: p, Adj: make([][]int32, n)}
+	radius := p.CommRadius()
+	if eu, ok := s.(*geom.Euclidean); ok && n > 64 {
+		net.buildEuclidean(eu, radius)
+	} else {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if s.Dist(i, j) <= radius {
+					net.Adj[i] = append(net.Adj[i], int32(j))
+					net.Adj[j] = append(net.Adj[j], int32(i))
+				}
+			}
+		}
+	}
+	return net, nil
+}
+
+// buildEuclidean bucket-grids points at the comm radius so only the 3×3
+// neighborhood needs pairwise checks.
+func (net *Network) buildEuclidean(eu *geom.Euclidean, radius float64) {
+	pts := eu.Pts
+	minX, minY := math.Inf(1), math.Inf(1)
+	for _, q := range pts {
+		minX = math.Min(minX, q.X)
+		minY = math.Min(minY, q.Y)
+	}
+	cell := radius
+	type key struct{ x, y int32 }
+	buckets := make(map[key][]int32, len(pts))
+	keyOf := func(q geom.Point) key {
+		return key{int32((q.X - minX) / cell), int32((q.Y - minY) / cell)}
+	}
+	for i, q := range pts {
+		k := keyOf(q)
+		buckets[k] = append(buckets[k], int32(i))
+	}
+	r2 := radius * radius
+	for i, q := range pts {
+		k := keyOf(q)
+		for dx := int32(-1); dx <= 1; dx++ {
+			for dy := int32(-1); dy <= 1; dy++ {
+				for _, j := range buckets[key{k.x + dx, k.y + dy}] {
+					if int32(i) >= j {
+						continue
+					}
+					if q.Dist2(pts[j]) <= r2 {
+						net.Adj[i] = append(net.Adj[i], j)
+						net.Adj[j] = append(net.Adj[j], int32(i))
+					}
+				}
+			}
+		}
+	}
+}
+
+// N returns the number of stations.
+func (net *Network) N() int { return net.Space.Len() }
+
+// Degree returns the communication-graph degree of station i.
+func (net *Network) Degree(i int) int { return len(net.Adj[i]) }
+
+// MaxDegree returns Δ, the maximum degree of the communication graph.
+func (net *Network) MaxDegree() int {
+	d := 0
+	for i := range net.Adj {
+		if len(net.Adj[i]) > d {
+			d = len(net.Adj[i])
+		}
+	}
+	return d
+}
+
+// EdgeCount returns the number of undirected edges.
+func (net *Network) EdgeCount() int {
+	total := 0
+	for i := range net.Adj {
+		total += len(net.Adj[i])
+	}
+	return total / 2
+}
+
+// Granularity returns Rs: the maximum ratio between metric lengths of
+// communication-graph edges ([5], §1.3). Networks with < 1 edge return 1.
+func (net *Network) Granularity() float64 {
+	minE, maxE := math.Inf(1), 0.0
+	for i := range net.Adj {
+		for _, j := range net.Adj[i] {
+			if int32(i) < j {
+				d := net.Space.Dist(i, int(j))
+				minE = math.Min(minE, d)
+				maxE = math.Max(maxE, d)
+			}
+		}
+	}
+	if maxE == 0 || minE == 0 {
+		return 1
+	}
+	return maxE / minE
+}
+
+// Neighbors returns the neighbor set N(v) of station v in G.
+func (net *Network) Neighbors(v int) []int32 { return net.Adj[v] }

@@ -1,0 +1,161 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator with splittable per-station streams.
+//
+// All randomized protocols in this repository draw exclusively from rng so
+// that a simulation run is reproducible bit-for-bit from its seed. The
+// generator is SplitMix64 for stream derivation and xoshiro256** for the
+// stream itself; both are well studied, allocation free, and need only the
+// standard library.
+package rng
+
+import "math/bits"
+
+// Source is a deterministic random stream. The zero value is NOT valid;
+// construct with New or Split so the internal state is properly seeded.
+type Source struct {
+	s0, s1, s2, s3 uint64
+	// id identifies the stream independent of how many values were
+	// drawn, so Split(k) is stable across the stream's lifetime.
+	id uint64
+}
+
+// splitMix64 advances x and returns the next SplitMix64 output.
+// It is used to expand seeds into full generator state.
+func splitMix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Source seeded from seed. Distinct seeds yield
+// statistically independent streams.
+func New(seed uint64) *Source {
+	var s Source
+	s.Reseed(seed)
+	return &s
+}
+
+// Reseed resets the source to the stream identified by seed.
+func (s *Source) Reseed(seed uint64) {
+	s.id = seed
+	x := seed
+	s.s0 = splitMix64(&x)
+	s.s1 = splitMix64(&x)
+	s.s2 = splitMix64(&x)
+	s.s3 = splitMix64(&x)
+	// xoshiro state must not be all zero; SplitMix64 outputs make this
+	// astronomically unlikely, but guard anyway.
+	if s.s0|s.s1|s.s2|s.s3 == 0 {
+		s.s0 = 1
+	}
+}
+
+// Split derives an independent child stream identified by id. The parent
+// stream is not advanced, so Split(i) is stable regardless of draw order.
+func (s *Source) Split(id uint64) *Source {
+	// Mix the parent identity with the child id through SplitMix64.
+	x := s.id ^ bits.RotateLeft64(id, 32) ^ (id * 0x9e3779b97f4a7c15)
+	return New(splitMix64(&x))
+}
+
+// Uint64 returns the next 64 random bits (xoshiro256**).
+func (s *Source) Uint64() uint64 {
+	result := bits.RotateLeft64(s.s1*5, 7) * 9
+	t := s.s1 << 17
+	s.s2 ^= s.s0
+	s.s3 ^= s.s1
+	s.s1 ^= s.s2
+	s.s0 ^= s.s3
+	s.s2 ^= t
+	s.s3 = bits.RotateLeft64(s.s3, 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli returns true with probability p. Values of p outside [0,1]
+// are clamped.
+func (s *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded sampling.
+	v := s.Uint64()
+	hi, lo := bits.Mul64(v, uint64(n))
+	if lo < uint64(n) {
+		thresh := -uint64(n) % uint64(n)
+		for lo < thresh {
+			v = s.Uint64()
+			hi, lo = bits.Mul64(v, uint64(n))
+		}
+	}
+	return int(hi)
+}
+
+// Int63 returns a uniform non-negative int64.
+func (s *Source) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+// Range returns a uniform float64 in [lo, hi).
+func (s *Source) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.Float64()
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// NormFloat64 returns a standard normal variate (polar Marsaglia method).
+func (s *Source) NormFloat64() float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q > 0 && q < 1 {
+			// ln(q) via math is fine; avoid importing math in hot paths
+			// elsewhere, but here clarity wins.
+			return u * sqrtMinus2LogOverQ(q)
+		}
+	}
+}
+
+// sqrtMinus2LogOverQ computes sqrt(-2 ln q / q) used by the polar method.
+func sqrtMinus2LogOverQ(q float64) float64 {
+	return sqrt(-2 * log(q) / q)
+}
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (s *Source) ExpFloat64() float64 {
+	for {
+		u := s.Float64()
+		if u > 0 {
+			return -log(u)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package sim runs synchronous-round simulations of distributed wireless
+// protocols under the SINR model (§1.1): in each round every station
+// either transmits or listens, the physical engine resolves receptions,
+// and messages are delivered. Stations interact with the world only
+// through the Protocol interface — they never see the network, other
+// stations' state, or positions, which keeps the "ad hoc, no GPS,
+// no carrier sensing" contract of the paper honest by construction.
+package sim
+
+import (
+	"fmt"
+
+	"sinrcast/internal/sinr"
+)
+
+// Message is what a station puts on the air. The paper allows the
+// broadcast message plus O(log n) extra bits (§1.1); Kind/A/B are that
+// O(log n) annotation, and Round carries the global round counter used
+// to synchronize non-spontaneously woken stations.
+type Message struct {
+	// Src is the transmitting station (filled by the engine).
+	Src int
+	// Round is the global round number at transmission (filled by the
+	// engine; protocols read it to synchronize).
+	Round int
+	// Kind tags the protocol-level message type.
+	Kind uint8
+	// A and B are protocol-defined payload fields.
+	A, B int64
+}
+
+// Protocol is the behavior of a single station. Implementations must
+// only use their own local state: the engine calls Tick exactly once per
+// round per station and Recv for each successful reception.
+type Protocol interface {
+	// Tick returns the station's action in round t: whether to transmit
+	// and, if so, the message. A sleeping station returns (false, _).
+	Tick(t int) (transmit bool, msg Message)
+	// Recv delivers a successfully decoded message in round t. Recv is
+	// called after all Tick calls of round t. A station never receives
+	// in a round in which it transmitted.
+	Recv(t int, msg Message)
+}
+
+// Resolver is the physical layer. *sinr.Engine and *sinr.GridEngine
+// both implement it.
+type Resolver interface {
+	Resolve(tx []int) []sinr.Reception
+	N() int
+}
+
+var (
+	_ Resolver = (*sinr.Engine)(nil)
+	_ Resolver = (*sinr.GridEngine)(nil)
+)
+
+// Tracer observes rounds; used by tests, stats and the CLIs.
+type Tracer interface {
+	// OnRound is called at the end of each round with the transmitter
+	// set and the receptions. Slices are engine-owned: copy to retain.
+	OnRound(t int, tx []int, rec []sinr.Reception)
+}
+
+// Metrics accumulates counters over a run.
+type Metrics struct {
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// Transmissions counts station-rounds spent transmitting.
+	Transmissions int64
+	// Receptions counts successful deliveries.
+	Receptions int64
+	// BusyRounds counts rounds with at least one transmitter.
+	BusyRounds int
+}
+
+// Engine drives one simulation.
+type Engine struct {
+	phys   Resolver
+	protos []Protocol
+	tracer Tracer
+	msgs   []Message // per-station scratch of this round's messages
+	txIDs  []int
+	// Metrics of the run so far.
+	Metrics Metrics
+	// round is the global clock; persists across Run calls so phased
+	// protocols can be driven in segments.
+	round int
+}
+
+// NewEngine pairs a physical resolver with one Protocol per station.
+func NewEngine(phys Resolver, protos []Protocol) (*Engine, error) {
+	if phys.N() != len(protos) {
+		return nil, fmt.Errorf("sim: %d stations but %d protocols", phys.N(), len(protos))
+	}
+	return &Engine{
+		phys:   phys,
+		protos: protos,
+		msgs:   make([]Message, len(protos)),
+		txIDs:  make([]int, 0, len(protos)),
+	}, nil
+}
+
+// SetTracer installs an observer (nil disables tracing).
+func (e *Engine) SetTracer(tr Tracer) { e.tracer = tr }
+
+// Round returns the current global round number (the next round to run).
+func (e *Engine) Round() int { return e.round }
+
+// Step executes exactly one round and returns the number of successful
+// receptions.
+func (e *Engine) Step() int {
+	t := e.round
+	e.txIDs = e.txIDs[:0]
+	for i, p := range e.protos {
+		transmit, msg := p.Tick(t)
+		if transmit {
+			msg.Src = i
+			msg.Round = t
+			e.msgs[i] = msg
+			e.txIDs = append(e.txIDs, i)
+		}
+	}
+	rec := e.phys.Resolve(e.txIDs)
+	for _, r := range rec {
+		e.protos[r.Receiver].Recv(t, e.msgs[r.Transmitter])
+	}
+	if e.tracer != nil {
+		e.tracer.OnRound(t, e.txIDs, rec)
+	}
+	e.Metrics.Rounds++
+	e.Metrics.Transmissions += int64(len(e.txIDs))
+	e.Metrics.Receptions += int64(len(rec))
+	if len(e.txIDs) > 0 {
+		e.Metrics.BusyRounds++
+	}
+	e.round++
+	return len(rec)
+}
+
+// Run executes rounds until stop returns true (checked before each
+// round) or maxRounds rounds have run in this call. It returns the
+// number of rounds executed by this call and whether stop fired.
+func (e *Engine) Run(maxRounds int, stop func() bool) (rounds int, stopped bool) {
+	for rounds < maxRounds {
+		if stop != nil && stop() {
+			return rounds, true
+		}
+		e.Step()
+		rounds++
+	}
+	return rounds, stop != nil && stop()
+}

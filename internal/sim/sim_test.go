@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"sinrcast/internal/geom"
+	"sinrcast/internal/sinr"
+)
+
+// beaconProto transmits every round with a fixed payload; used to drive
+// the engine deterministically.
+type beaconProto struct {
+	every   int // transmit when t % every == 0 (0 = never)
+	payload int64
+	got     []Message
+}
+
+func (b *beaconProto) Tick(t int) (bool, Message) {
+	if b.every > 0 && t%b.every == 0 {
+		return true, Message{Kind: 1, A: b.payload}
+	}
+	return false, Message{}
+}
+
+func (b *beaconProto) Recv(_ int, m Message) { b.got = append(b.got, m) }
+
+func twoStationEngine(t *testing.T, protos []Protocol) *Engine {
+	t.Helper()
+	phys, err := sinr.NewEngine(geom.NewEuclidean([]geom.Point{{X: 0, Y: 0}, {X: 0.5, Y: 0}}), sinr.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(phys, protos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEngineMismatchedProtocols(t *testing.T) {
+	phys, err := sinr.NewEngine(geom.NewEuclidean([]geom.Point{{X: 0, Y: 0}}), sinr.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine(phys, nil); err == nil {
+		t.Fatal("want error for protocol count mismatch")
+	}
+}
+
+func TestDeliveryAndMetadata(t *testing.T) {
+	a := &beaconProto{every: 1, payload: 42}
+	b := &beaconProto{}
+	e := twoStationEngine(t, []Protocol{a, b})
+	if got := e.Step(); got != 1 {
+		t.Fatalf("Step receptions = %d, want 1", got)
+	}
+	if len(b.got) != 1 {
+		t.Fatalf("station 1 received %d messages", len(b.got))
+	}
+	m := b.got[0]
+	if m.Src != 0 || m.Round != 0 || m.Kind != 1 || m.A != 42 {
+		t.Fatalf("message metadata wrong: %+v", m)
+	}
+	if len(a.got) != 0 {
+		t.Fatal("transmitter must not receive")
+	}
+}
+
+func TestRoundCounterAdvances(t *testing.T) {
+	a := &beaconProto{every: 2, payload: 7}
+	b := &beaconProto{}
+	e := twoStationEngine(t, []Protocol{a, b})
+	for i := 0; i < 5; i++ {
+		e.Step()
+	}
+	if e.Round() != 5 {
+		t.Fatalf("Round = %d, want 5", e.Round())
+	}
+	// Transmissions in rounds 0, 2, 4.
+	if len(b.got) != 3 {
+		t.Fatalf("got %d deliveries, want 3", len(b.got))
+	}
+	if b.got[1].Round != 2 {
+		t.Fatalf("second delivery round = %d, want 2", b.got[1].Round)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	a := &beaconProto{every: 2, payload: 1}
+	b := &beaconProto{}
+	e := twoStationEngine(t, []Protocol{a, b})
+	e.Run(6, nil)
+	m := e.Metrics
+	if m.Rounds != 6 {
+		t.Fatalf("Rounds = %d", m.Rounds)
+	}
+	if m.Transmissions != 3 {
+		t.Fatalf("Transmissions = %d", m.Transmissions)
+	}
+	if m.Receptions != 3 {
+		t.Fatalf("Receptions = %d", m.Receptions)
+	}
+	if m.BusyRounds != 3 {
+		t.Fatalf("BusyRounds = %d", m.BusyRounds)
+	}
+}
+
+func TestRunStopCondition(t *testing.T) {
+	a := &beaconProto{every: 1, payload: 1}
+	b := &beaconProto{}
+	e := twoStationEngine(t, []Protocol{a, b})
+	rounds, stopped := e.Run(100, func() bool { return len(b.got) >= 3 })
+	if !stopped {
+		t.Fatal("stop did not fire")
+	}
+	if rounds != 3 {
+		t.Fatalf("rounds = %d, want 3", rounds)
+	}
+	// Run with nil stop runs exactly maxRounds.
+	rounds, stopped = e.Run(4, nil)
+	if rounds != 4 || stopped {
+		t.Fatalf("nil-stop run = (%d,%v)", rounds, stopped)
+	}
+}
+
+func TestRunResumesGlobalClock(t *testing.T) {
+	a := &beaconProto{every: 1, payload: 1}
+	b := &beaconProto{}
+	e := twoStationEngine(t, []Protocol{a, b})
+	e.Run(3, nil)
+	e.Run(2, nil)
+	if e.Round() != 5 {
+		t.Fatalf("global clock = %d, want 5", e.Round())
+	}
+	if b.got[4].Round != 4 {
+		t.Fatalf("delivery round = %d, want 4", b.got[4].Round)
+	}
+}
+
+func TestCountingTracer(t *testing.T) {
+	a := &beaconProto{every: 2, payload: 1}
+	b := &beaconProto{}
+	e := twoStationEngine(t, []Protocol{a, b})
+	var ct CountingTracer
+	e.SetTracer(&ct)
+	e.Run(4, nil)
+	wantTx := []int{1, 0, 1, 0}
+	for i, w := range wantTx {
+		if ct.TxPerRound[i] != w {
+			t.Fatalf("TxPerRound = %v, want %v", ct.TxPerRound, wantTx)
+		}
+	}
+	if ct.RecPerRound[0] != 1 || ct.RecPerRound[1] != 0 {
+		t.Fatalf("RecPerRound = %v", ct.RecPerRound)
+	}
+}
+
+func TestWriterTracer(t *testing.T) {
+	a := &beaconProto{every: 1, payload: 1}
+	b := &beaconProto{}
+	e := twoStationEngine(t, []Protocol{a, b})
+	var sb strings.Builder
+	e.SetTracer(&WriterTracer{W: &sb})
+	e.Run(2, nil)
+	out := sb.String()
+	if !strings.Contains(out, "round") || !strings.Contains(out, "1<-0") {
+		t.Fatalf("unexpected trace output:\n%s", out)
+	}
+}
+
+func TestWriterTracerEvery(t *testing.T) {
+	a := &beaconProto{every: 1, payload: 1}
+	b := &beaconProto{}
+	e := twoStationEngine(t, []Protocol{a, b})
+	var sb strings.Builder
+	e.SetTracer(&WriterTracer{W: &sb, Every: 2})
+	e.Run(4, nil)
+	if got := strings.Count(sb.String(), "round"); got != 2 {
+		t.Fatalf("Every=2 logged %d rounds, want 2", got)
+	}
+}
+
+func TestMultiTracer(t *testing.T) {
+	a := &beaconProto{every: 1, payload: 1}
+	b := &beaconProto{}
+	e := twoStationEngine(t, []Protocol{a, b})
+	var c1, c2 CountingTracer
+	e.SetTracer(MultiTracer{&c1, &c2})
+	e.Run(3, nil)
+	if len(c1.TxPerRound) != 3 || len(c2.TxPerRound) != 3 {
+		t.Fatal("MultiTracer did not fan out")
+	}
+}
+
+func TestCollisionNoDelivery(t *testing.T) {
+	// Both stations transmit every round: no one ever listens, so no
+	// receptions and metrics reflect pure contention.
+	a := &beaconProto{every: 1, payload: 1}
+	b := &beaconProto{every: 1, payload: 2}
+	e := twoStationEngine(t, []Protocol{a, b})
+	e.Run(5, nil)
+	if e.Metrics.Receptions != 0 {
+		t.Fatalf("Receptions = %d, want 0", e.Metrics.Receptions)
+	}
+	if e.Metrics.Transmissions != 10 {
+		t.Fatalf("Transmissions = %d, want 10", e.Metrics.Transmissions)
+	}
+}

@@ -1,0 +1,209 @@
+package sinr
+
+import (
+	"fmt"
+	"math"
+
+	"sinrcast/internal/geom"
+)
+
+// Reception describes the outcome at one receiver in one round.
+type Reception struct {
+	// Receiver is the station index hearing the message.
+	Receiver int
+	// Transmitter is the station index whose message was decoded.
+	Transmitter int
+}
+
+// Engine resolves rounds of the SINR model exactly: for every listening
+// station it sums interference over all transmitters and applies Eq. (1).
+// With uniform power the strongest (closest) transmitter is the only
+// decoding candidate, so at most one message is delivered per receiver
+// per round.
+//
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	params Params
+	space  geom.Space
+	// pts is a fast-path cache of planar positions when the space is
+	// Euclidean; nil otherwise.
+	pts []geom.Point
+	// scratch buffers reused across rounds to stay allocation free.
+	sig  []float64 // total received power per station
+	best []int32   // index of closest transmitter per station
+	bd2  []float64 // squared (Euclidean) or plain distance to best
+	isTx []bool
+}
+
+// NewEngine builds an engine for the given space and parameters.
+func NewEngine(s geom.Space, p Params) (*Engine, error) {
+	if err := p.Validate(s.Growth()); err != nil {
+		return nil, err
+	}
+	n := s.Len()
+	e := &Engine{
+		params: p,
+		space:  s,
+		sig:    make([]float64, n),
+		best:   make([]int32, n),
+		bd2:    make([]float64, n),
+		isTx:   make([]bool, n),
+	}
+	if eu, ok := s.(*geom.Euclidean); ok {
+		e.pts = eu.Pts
+	}
+	return e, nil
+}
+
+// Params returns the physical parameters the engine was built with.
+func (e *Engine) Params() Params { return e.params }
+
+// N returns the number of stations.
+func (e *Engine) N() int { return e.space.Len() }
+
+// Resolve computes all successful receptions for one round in which
+// exactly the stations listed in tx transmit. The returned slice is
+// owned by the engine and valid until the next Resolve call.
+//
+// Semantics follow §1.1: a transmitting station cannot receive; a
+// station decodes its closest transmitter iff the SINR threshold holds.
+func (e *Engine) Resolve(tx []int) []Reception {
+	if len(tx) == 0 {
+		return nil
+	}
+	n := e.space.Len()
+	for _, t := range tx {
+		if t < 0 || t >= n {
+			panic(fmt.Sprintf("sinr: transmitter %d out of range [0,%d)", t, n))
+		}
+		e.isTx[t] = true
+	}
+	var out []Reception
+	if e.pts != nil {
+		out = e.resolveEuclidean(tx)
+	} else {
+		out = e.resolveGeneric(tx)
+	}
+	for _, t := range tx {
+		e.isTx[t] = false
+	}
+	return out
+}
+
+// resolveEuclidean is the hot path: flat slices, squared distances, no
+// interface calls in the inner loop.
+func (e *Engine) resolveEuclidean(tx []int) []Reception {
+	n := len(e.pts)
+	p := e.params
+	alphaHalf := p.Alpha / 2
+	pw := p.Power()
+	// maxRange2: beyond distance 1 no signal can be decoded even with
+	// zero interference, so receivers farther than 1 from their closest
+	// transmitter are skipped outright.
+	const maxRange2 = 1.0
+
+	for u := 0; u < n; u++ {
+		e.sig[u] = 0
+		e.best[u] = -1
+		e.bd2[u] = math.Inf(1)
+	}
+	for _, t := range tx {
+		tp := e.pts[t]
+		for u := 0; u < n; u++ {
+			if e.isTx[u] {
+				continue
+			}
+			dx := e.pts[u].X - tp.X
+			dy := e.pts[u].Y - tp.Y
+			d2 := dx*dx + dy*dy
+			// Power with exponent on squared distance: d^-α = (d²)^(-α/2).
+			e.sig[u] += pw * math.Pow(d2, -alphaHalf)
+			if d2 < e.bd2[u] {
+				e.bd2[u] = d2
+				e.best[u] = int32(t)
+			}
+		}
+	}
+	recv := make([]Reception, 0, 8)
+	for u := 0; u < n; u++ {
+		if e.isTx[u] || e.best[u] < 0 || e.bd2[u] > maxRange2 {
+			continue
+		}
+		s := pw * math.Pow(e.bd2[u], -alphaHalf)
+		intf := e.sig[u] - s
+		if intf < 0 {
+			intf = 0
+		}
+		if p.Decodes(s, intf) {
+			recv = append(recv, Reception{Receiver: u, Transmitter: int(e.best[u])})
+		}
+	}
+	return recv
+}
+
+// resolveGeneric handles arbitrary metric spaces through the interface.
+func (e *Engine) resolveGeneric(tx []int) []Reception {
+	n := e.space.Len()
+	p := e.params
+	for u := 0; u < n; u++ {
+		e.sig[u] = 0
+		e.best[u] = -1
+		e.bd2[u] = math.Inf(1)
+	}
+	for _, t := range tx {
+		for u := 0; u < n; u++ {
+			if e.isTx[u] {
+				continue
+			}
+			d := e.space.Dist(t, u)
+			e.sig[u] += p.Signal(d)
+			if d < e.bd2[u] {
+				e.bd2[u] = d
+				e.best[u] = int32(t)
+			}
+		}
+	}
+	recv := make([]Reception, 0, 8)
+	for u := 0; u < n; u++ {
+		if e.isTx[u] || e.best[u] < 0 || e.bd2[u] > 1 {
+			continue
+		}
+		s := p.Signal(e.bd2[u])
+		intf := e.sig[u] - s
+		if intf < 0 {
+			intf = 0
+		}
+		if p.Decodes(s, intf) {
+			recv = append(recv, Reception{Receiver: u, Transmitter: int(e.best[u])})
+		}
+	}
+	return recv
+}
+
+// InterferenceAt returns the total received power at station u from all
+// stations in tx (excluding u itself if present). Used by invariant
+// checks and tests; not on the hot path.
+func (e *Engine) InterferenceAt(u int, tx []int) float64 {
+	total := 0.0
+	for _, t := range tx {
+		if t == u {
+			continue
+		}
+		total += e.params.Signal(e.space.Dist(t, u))
+	}
+	return total
+}
+
+// SINRAt returns the SINR of transmitter v at receiver u against the set
+// tx (v need not be a member of tx; it is excluded from interference).
+func (e *Engine) SINRAt(v, u int, tx []int) float64 {
+	sig := e.params.Signal(e.space.Dist(v, u))
+	intf := 0.0
+	for _, t := range tx {
+		if t == v || t == u {
+			continue
+		}
+		intf += e.params.Signal(e.space.Dist(t, u))
+	}
+	return sig / (e.params.Noise + intf)
+}

@@ -1,0 +1,371 @@
+package sinr
+
+import (
+	"math"
+	"testing"
+
+	"sinrcast/internal/geom"
+	"sinrcast/internal/rng"
+)
+
+func mustEngine(t *testing.T, s geom.Space, p Params) *Engine {
+	t.Helper()
+	e, err := NewEngine(s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       Params
+		gamma   float64
+		wantErr bool
+	}{
+		{"default ok", DefaultParams(), 2, false},
+		{"alpha below growth", Params{Alpha: 1.5, Beta: 1, Noise: 1, Eps: 0.5}, 2, true},
+		{"alpha equal growth", Params{Alpha: 2, Beta: 1, Noise: 1, Eps: 0.5}, 2, true},
+		{"beta below one", Params{Alpha: 3, Beta: 0.9, Noise: 1, Eps: 0.5}, 2, true},
+		{"zero noise", Params{Alpha: 3, Beta: 1, Noise: 0, Eps: 0.5}, 2, true},
+		{"eps zero", Params{Alpha: 3, Beta: 1, Noise: 1, Eps: 0}, 2, true},
+		{"eps one", Params{Alpha: 3, Beta: 1, Noise: 1, Eps: 1}, 2, true},
+		{"line metric ok", Params{Alpha: 1.5, Beta: 1, Noise: 1, Eps: 0.5}, 1, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.p.Validate(tt.gamma)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Validate() err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestRangeIsOne(t *testing.T) {
+	p := DefaultParams()
+	if r := p.Range(); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("Range = %v, want 1", r)
+	}
+	if p.Power() != p.Noise*p.Beta {
+		t.Fatal("Power != N*beta")
+	}
+}
+
+func TestSingleTransmitterInRange(t *testing.T) {
+	// A lone transmitter is heard exactly up to distance 1.
+	p := DefaultParams()
+	tests := []struct {
+		name string
+		d    float64
+		want bool
+	}{
+		{"very close", 0.1, true},
+		{"mid", 0.6, true},
+		{"just inside", 0.999, true},
+		{"boundary", 1.0, true},
+		{"just outside", 1.001, false},
+		{"far", 2.0, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			e := mustEngine(t, geom.NewEuclidean([]geom.Point{{X: 0, Y: 0}, {X: tt.d, Y: 0}}), p)
+			rec := e.Resolve([]int{0})
+			got := len(rec) == 1
+			if got != tt.want {
+				t.Fatalf("reception at distance %v = %v, want %v", tt.d, got, tt.want)
+			}
+			if got && (rec[0].Receiver != 1 || rec[0].Transmitter != 0) {
+				t.Fatalf("wrong reception %+v", rec[0])
+			}
+		})
+	}
+}
+
+func TestTransmitterCannotReceive(t *testing.T) {
+	e := mustEngine(t, geom.NewEuclidean([]geom.Point{{X: 0, Y: 0}, {X: 0.3, Y: 0}}), DefaultParams())
+	rec := e.Resolve([]int{0, 1})
+	for _, r := range rec {
+		if r.Receiver == 0 || r.Receiver == 1 {
+			t.Fatalf("transmitting station received: %+v", r)
+		}
+	}
+}
+
+func TestCollisionBlocksEquidistant(t *testing.T) {
+	// Two transmitters equidistant from the receiver: SINR < beta since
+	// the interferer is as strong as the signal and beta >= 1.
+	e := mustEngine(t, geom.NewEuclidean([]geom.Point{
+		{X: -0.5, Y: 0}, {X: 0.5, Y: 0}, {X: 0, Y: 0},
+	}), DefaultParams())
+	rec := e.Resolve([]int{0, 1})
+	for _, r := range rec {
+		if r.Receiver == 2 {
+			t.Fatalf("station 2 decoded despite symmetric collision: %+v", r)
+		}
+	}
+}
+
+func TestCaptureEffect(t *testing.T) {
+	// A much closer transmitter is decoded despite a far interferer.
+	e := mustEngine(t, geom.NewEuclidean([]geom.Point{
+		{X: 0, Y: 0},    // close tx
+		{X: 10, Y: 0},   // far interferer
+		{X: 0.05, Y: 0}, // receiver next to station 0
+	}), DefaultParams())
+	rec := e.Resolve([]int{0, 1})
+	found := false
+	for _, r := range rec {
+		if r.Receiver == 2 && r.Transmitter == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("capture effect failed: close transmitter not decoded")
+	}
+}
+
+func TestInterferenceShrinksRange(t *testing.T) {
+	// With an active interferer, the boundary reception at distance ~1
+	// must fail, while a much closer reception still succeeds.
+	pts := []geom.Point{
+		{X: 0, Y: 0},    // tx A
+		{X: 0.95, Y: 0}, // receiver near edge of A's range
+		{X: 3, Y: 0},    // tx B (interferer)
+	}
+	e := mustEngine(t, geom.NewEuclidean(pts), DefaultParams())
+	if rec := e.Resolve([]int{0}); len(rec) != 1 || rec[0].Receiver != 1 {
+		t.Fatalf("lone transmission failed: %+v", rec)
+	}
+	rec := e.Resolve([]int{0, 2})
+	for _, r := range rec {
+		if r.Receiver == 1 {
+			t.Fatalf("edge reception should fail under interference, got %+v", r)
+		}
+	}
+}
+
+func TestEmptyTransmitSet(t *testing.T) {
+	e := mustEngine(t, geom.NewEuclidean([]geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}}), DefaultParams())
+	if rec := e.Resolve(nil); rec != nil {
+		t.Fatalf("Resolve(nil) = %v, want nil", rec)
+	}
+}
+
+func TestResolvePanicsOnBadIndex(t *testing.T) {
+	e := mustEngine(t, geom.NewEuclidean([]geom.Point{{X: 0, Y: 0}}), DefaultParams())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on out-of-range transmitter")
+		}
+	}()
+	e.Resolve([]int{5})
+}
+
+func TestGenericMatchesEuclidean(t *testing.T) {
+	// The generic path over a Line must agree with the Euclidean path
+	// over the same collinear points.
+	coords := []float64{0, 0.4, 0.9, 1.5, 2.0, 2.6, 3.3}
+	var pts []geom.Point
+	for _, c := range coords {
+		pts = append(pts, geom.Point{X: c})
+	}
+	pLine := DefaultParams()
+	pLine.Alpha = 3 // fine for gamma=1 too
+	eu := mustEngine(t, geom.NewEuclidean(pts), pLine)
+	li := mustEngine(t, geom.NewLine(coords), pLine)
+
+	r := rng.New(17)
+	for trial := 0; trial < 200; trial++ {
+		var tx []int
+		for i := range coords {
+			if r.Bernoulli(0.3) {
+				tx = append(tx, i)
+			}
+		}
+		a := eu.Resolve(tx)
+		b := li.Resolve(tx)
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: euclidean %v vs line %v", trial, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d: mismatch %+v vs %+v", trial, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestSINRAtMatchesFactTwo(t *testing.T) {
+	// Fact 2: with x <= 1/2^{1/alpha}, interference <= N/(2x^alpha)
+	// allows hearing from distance x. Verify numerically at the
+	// boundary for several x.
+	p := DefaultParams()
+	for _, x := range []float64{0.2, 0.4, 0.6, 0.75} {
+		if x > math.Pow(0.5, 1/p.Alpha) {
+			continue
+		}
+		maxIntf := p.Noise / (2 * math.Pow(x, p.Alpha))
+		sig := p.Signal(x)
+		if !p.Decodes(sig, maxIntf-p.Noise) {
+			// Decodes takes interference excluding noise; Fact 2's bound
+			// is on total interference, so subtract noise which Decodes
+			// re-adds.
+			t.Fatalf("Fact 2 violated at x=%v", x)
+		}
+	}
+}
+
+func TestInterferenceAt(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}}
+	e := mustEngine(t, geom.NewEuclidean(pts), DefaultParams())
+	p := e.Params()
+	got := e.InterferenceAt(0, []int{1, 2})
+	want := p.Signal(1) + p.Signal(2)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("InterferenceAt = %v, want %v", got, want)
+	}
+	// Self is excluded.
+	if got := e.InterferenceAt(1, []int{1}); got != 0 {
+		t.Fatalf("self-interference = %v, want 0", got)
+	}
+}
+
+func TestSINRAt(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 0.5, Y: 0}, {X: 2, Y: 0}}
+	e := mustEngine(t, geom.NewEuclidean(pts), DefaultParams())
+	p := e.Params()
+	got := e.SINRAt(0, 1, []int{0, 2})
+	want := p.Signal(0.5) / (p.Noise + p.Signal(1.5))
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("SINRAt = %v, want %v", got, want)
+	}
+}
+
+func TestGridEngineAgreement(t *testing.T) {
+	// The grid engine must agree with the exact engine on virtually all
+	// receptions; disagreements are only allowed at razor-thin SINR
+	// margins introduced by far-field aggregation.
+	r := rng.New(99)
+	n := 300
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: r.Range(0, 12), Y: r.Range(0, 12)}
+	}
+	eu := geom.NewEuclidean(pts)
+	p := DefaultParams()
+	exact := mustEngine(t, eu, p)
+	grid, err := NewGridEngine(eu, p, 1.0, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid.N() != n {
+		t.Fatalf("grid.N = %d", grid.N())
+	}
+	total, differ := 0, 0
+	for trial := 0; trial < 100; trial++ {
+		var tx []int
+		for i := 0; i < n; i++ {
+			if r.Bernoulli(0.05) {
+				tx = append(tx, i)
+			}
+		}
+		a := exact.Resolve(tx)
+		b := grid.Resolve(tx)
+		am := map[int]int{}
+		for _, x := range a {
+			am[x.Receiver] = x.Transmitter
+		}
+		bm := map[int]int{}
+		for _, x := range b {
+			bm[x.Receiver] = x.Transmitter
+		}
+		total += len(am)
+		for k, v := range am {
+			if bm[k] != v {
+				differ++
+			}
+		}
+		for k := range bm {
+			if _, ok := am[k]; !ok {
+				differ++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no receptions at all; test is vacuous")
+	}
+	if rate := float64(differ) / float64(total); rate > 0.02 {
+		t.Fatalf("grid disagreement rate %v (%d/%d) too high", rate, differ, total)
+	}
+}
+
+func TestGridEngineRejectsBadArgs(t *testing.T) {
+	eu := geom.NewEuclidean([]geom.Point{{X: 0, Y: 0}})
+	if _, err := NewGridEngine(eu, DefaultParams(), 0, 1); err == nil {
+		t.Fatal("want error for zero cell size")
+	}
+	if _, err := NewGridEngine(eu, DefaultParams(), 1, 0); err == nil {
+		t.Fatal("want error for zero near radius")
+	}
+	if _, err := NewGridEngine(geom.NewEuclidean(nil), DefaultParams(), 1, 1); err == nil {
+		t.Fatal("want error for empty point set")
+	}
+}
+
+func TestResolveScratchReuseIsClean(t *testing.T) {
+	// Back-to-back rounds must not leak state between calls.
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 0.5, Y: 0}, {X: 5, Y: 0}, {X: 5.5, Y: 0}}
+	e := mustEngine(t, geom.NewEuclidean(pts), DefaultParams())
+	r1 := e.Resolve([]int{0})
+	if len(r1) != 1 || r1[0].Receiver != 1 {
+		t.Fatalf("round 1: %+v", r1)
+	}
+	r2 := e.Resolve([]int{2})
+	if len(r2) != 1 || r2[0].Receiver != 3 || r2[0].Transmitter != 2 {
+		t.Fatalf("round 2 leaked state: %+v", r2)
+	}
+}
+
+func BenchmarkResolveSparse(b *testing.B) {
+	r := rng.New(1)
+	n := 1024
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: r.Range(0, 20), Y: r.Range(0, 20)}
+	}
+	e, err := NewEngine(geom.NewEuclidean(pts), DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tx := make([]int, 0, 32)
+	for i := 0; i < 32; i++ {
+		tx = append(tx, r.Intn(n))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Resolve(tx)
+	}
+}
+
+func BenchmarkGridResolveSparse(b *testing.B) {
+	r := rng.New(1)
+	n := 1024
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: r.Range(0, 20), Y: r.Range(0, 20)}
+	}
+	g, err := NewGridEngine(geom.NewEuclidean(pts), DefaultParams(), 1, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tx := make([]int, 0, 32)
+	for i := 0; i < 32; i++ {
+		tx = append(tx, r.Intn(n))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Resolve(tx)
+	}
+}

@@ -1,0 +1,162 @@
+package sinr
+
+import (
+	"fmt"
+	"math"
+
+	"sinrcast/internal/geom"
+	"sinrcast/internal/rng"
+)
+
+// FadingEngine wraps the exact engine with per-round Rayleigh fading:
+// every (transmitter, receiver) link's power is multiplied by an
+// independent unit-mean exponential variable each round. The paper's
+// model is deterministic path loss (Eq. 1); fading is a robustness
+// extension used by the model-sensitivity experiments — the algorithms
+// never see the difference, only the channel does.
+type FadingEngine struct {
+	inner *Engine
+	rnd   *rng.Source
+	space geom.Space
+	// scratch
+	sig  []float64
+	best []int32
+	bsig []float64
+	isTx []bool
+}
+
+var _ interface {
+	Resolve(tx []int) []Reception
+	N() int
+} = (*FadingEngine)(nil)
+
+// NewFadingEngine builds a fading channel over the given space; seed
+// drives the fading process (independent of protocol randomness).
+func NewFadingEngine(s geom.Space, p Params, seed uint64) (*FadingEngine, error) {
+	inner, err := NewEngine(s, p)
+	if err != nil {
+		return nil, err
+	}
+	n := s.Len()
+	return &FadingEngine{
+		inner: inner,
+		rnd:   rng.New(seed),
+		space: s,
+		sig:   make([]float64, n),
+		best:  make([]int32, n),
+		bsig:  make([]float64, n),
+		isTx:  make([]bool, n),
+	}, nil
+}
+
+// Params returns the physical parameters.
+func (e *FadingEngine) Params() Params { return e.inner.params }
+
+// N returns the number of stations.
+func (e *FadingEngine) N() int { return e.space.Len() }
+
+// Resolve computes receptions with fresh Rayleigh coefficients. Under
+// fading the decoded transmitter is the one with the strongest faded
+// signal (not necessarily the closest).
+func (e *FadingEngine) Resolve(tx []int) []Reception {
+	if len(tx) == 0 {
+		return nil
+	}
+	n := e.space.Len()
+	p := e.inner.params
+	for _, t := range tx {
+		if t < 0 || t >= n {
+			panic(fmt.Sprintf("sinr: transmitter %d out of range [0,%d)", t, n))
+		}
+		e.isTx[t] = true
+	}
+	for u := 0; u < n; u++ {
+		e.sig[u] = 0
+		e.best[u] = -1
+		e.bsig[u] = 0
+	}
+	for _, t := range tx {
+		for u := 0; u < n; u++ {
+			if e.isTx[u] {
+				continue
+			}
+			d := e.space.Dist(t, u)
+			s := p.Signal(d) * e.rnd.ExpFloat64()
+			if math.IsInf(s, 1) {
+				s = math.MaxFloat64
+			}
+			e.sig[u] += s
+			if s > e.bsig[u] {
+				e.bsig[u] = s
+				e.best[u] = int32(t)
+			}
+		}
+	}
+	var out []Reception
+	for u := 0; u < n; u++ {
+		if e.isTx[u] || e.best[u] < 0 {
+			continue
+		}
+		s := e.bsig[u]
+		intf := e.sig[u] - s
+		if intf < 0 {
+			intf = 0
+		}
+		if p.Decodes(s, intf) {
+			out = append(out, Reception{Receiver: u, Transmitter: int(e.best[u])})
+		}
+	}
+	for _, t := range tx {
+		e.isTx[t] = false
+	}
+	return out
+}
+
+// WeakDeviceEngine implements the "weak device" reception model of
+// [16] (§1.2): a station discards messages arriving from metric
+// distance greater than 1-ε even when the SINR would allow decoding.
+// The paper proves its model is strictly stronger than this one
+// (the Ω(D·Δ) lower bound of [16] does not apply here); the engine
+// exists so that the difference is measurable in experiments.
+type WeakDeviceEngine struct {
+	inner  *Engine
+	space  geom.Space
+	cutoff float64
+}
+
+var _ interface {
+	Resolve(tx []int) []Reception
+	N() int
+} = (*WeakDeviceEngine)(nil)
+
+// NewWeakDeviceEngine builds the filtered engine; receptions beyond
+// distance cutoff are dropped (pass p.CommRadius() for the [16] model).
+func NewWeakDeviceEngine(s geom.Space, p Params, cutoff float64) (*WeakDeviceEngine, error) {
+	if cutoff <= 0 {
+		return nil, fmt.Errorf("sinr: cutoff %v must be positive", cutoff)
+	}
+	inner, err := NewEngine(s, p)
+	if err != nil {
+		return nil, err
+	}
+	return &WeakDeviceEngine{inner: inner, space: s, cutoff: cutoff}, nil
+}
+
+// Params returns the physical parameters.
+func (e *WeakDeviceEngine) Params() Params { return e.inner.params }
+
+// N returns the number of stations.
+func (e *WeakDeviceEngine) N() int { return e.space.Len() }
+
+// Resolve computes SINR receptions, then drops those whose link length
+// exceeds the cutoff.
+func (e *WeakDeviceEngine) Resolve(tx []int) []Reception {
+	rec := e.inner.Resolve(tx)
+	out := rec[:0]
+	for _, r := range rec {
+		if e.space.Dist(r.Transmitter, r.Receiver) <= e.cutoff {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package sinr
+
+import (
+	"testing"
+
+	"sinrcast/internal/geom"
+)
+
+func TestFadingEngineSingleLink(t *testing.T) {
+	// A close link succeeds most rounds under fading; a link at the
+	// deterministic range boundary succeeds only sometimes (the fading
+	// coefficient must exceed 1).
+	eu := geom.NewEuclidean([]geom.Point{{X: 0, Y: 0}, {X: 0.2, Y: 0}})
+	e, err := NewFadingEngine(eu, DefaultParams(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.N() != 2 {
+		t.Fatalf("N = %d", e.N())
+	}
+	succ := 0
+	const rounds = 2000
+	for i := 0; i < rounds; i++ {
+		if len(e.Resolve([]int{0})) == 1 {
+			succ++
+		}
+	}
+	rate := float64(succ) / rounds
+	// Signal at 0.2 is 125x the threshold: P(exp >= 1/125) ~ 0.992.
+	if rate < 0.9 {
+		t.Fatalf("close-link fading success rate = %v, want > 0.9", rate)
+	}
+}
+
+func TestFadingEngineBoundaryLink(t *testing.T) {
+	eu := geom.NewEuclidean([]geom.Point{{X: 0, Y: 0}, {X: 1.0, Y: 0}})
+	e, err := NewFadingEngine(eu, DefaultParams(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	succ := 0
+	const rounds = 5000
+	for i := 0; i < rounds; i++ {
+		if len(e.Resolve([]int{0})) == 1 {
+			succ++
+		}
+	}
+	rate := float64(succ) / rounds
+	// At distance 1 the mean SNR equals the threshold: success iff the
+	// exponential coefficient >= 1, so the rate should be ~e^-1.
+	if rate < 0.25 || rate > 0.5 {
+		t.Fatalf("boundary-link fading rate = %v, want ~0.37", rate)
+	}
+}
+
+func TestFadingEngineTransmitterCannotReceive(t *testing.T) {
+	eu := geom.NewEuclidean([]geom.Point{{X: 0, Y: 0}, {X: 0.2, Y: 0}})
+	e, err := NewFadingEngine(eu, DefaultParams(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		for _, r := range e.Resolve([]int{0, 1}) {
+			t.Fatalf("reception between two transmitters: %+v", r)
+		}
+	}
+}
+
+func TestFadingEngineEmptyAndErrors(t *testing.T) {
+	eu := geom.NewEuclidean([]geom.Point{{X: 0, Y: 0}})
+	e, err := NewFadingEngine(eu, DefaultParams(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := e.Resolve(nil); rec != nil {
+		t.Fatal("Resolve(nil) should be nil")
+	}
+	bad := DefaultParams()
+	bad.Noise = 0
+	if _, err := NewFadingEngine(eu, bad, 1); err == nil {
+		t.Fatal("want error for invalid params")
+	}
+}
+
+func TestFadingDeterministicInSeed(t *testing.T) {
+	eu := geom.NewEuclidean([]geom.Point{{X: 0, Y: 0}, {X: 0.8, Y: 0}, {X: 1.6, Y: 0}})
+	a, err := NewFadingEngine(eu, DefaultParams(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewFadingEngine(eu, DefaultParams(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		ra := a.Resolve([]int{0})
+		rb := b.Resolve([]int{0})
+		if len(ra) != len(rb) {
+			t.Fatalf("fading nondeterministic at round %d", i)
+		}
+	}
+}
+
+func TestWeakDeviceEngineFiltersLongLinks(t *testing.T) {
+	p := DefaultParams()
+	// Distance 0.8 > commRadius (2/3): plain engine decodes, weak
+	// device drops.
+	eu := geom.NewEuclidean([]geom.Point{{X: 0, Y: 0}, {X: 0.8, Y: 0}})
+	plain, err := NewEngine(eu, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := plain.Resolve([]int{0}); len(rec) != 1 {
+		t.Fatal("plain engine should decode at 0.8")
+	}
+	weak, err := NewWeakDeviceEngine(eu, p, p.CommRadius())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weak.N() != 2 {
+		t.Fatalf("N = %d", weak.N())
+	}
+	if rec := weak.Resolve([]int{0}); len(rec) != 0 {
+		t.Fatalf("weak device decoded beyond cutoff: %+v", rec)
+	}
+}
+
+func TestWeakDeviceEngineKeepsShortLinks(t *testing.T) {
+	p := DefaultParams()
+	eu := geom.NewEuclidean([]geom.Point{{X: 0, Y: 0}, {X: 0.5, Y: 0}})
+	weak, err := NewWeakDeviceEngine(eu, p, p.CommRadius())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := weak.Resolve([]int{0}); len(rec) != 1 {
+		t.Fatalf("weak device dropped an in-range link: %+v", rec)
+	}
+}
+
+func TestWeakDeviceEngineRejectsBadCutoff(t *testing.T) {
+	eu := geom.NewEuclidean([]geom.Point{{X: 0, Y: 0}})
+	if _, err := NewWeakDeviceEngine(eu, DefaultParams(), 0); err == nil {
+		t.Fatal("want error for zero cutoff")
+	}
+}

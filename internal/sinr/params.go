@@ -1,0 +1,83 @@
+// Package sinr implements the Signal-to-Interference-and-Noise-Ratio
+// physical model of the paper (§1.1, Eq. 1): a receiver u decodes the
+// transmission of v against the set T of simultaneous transmitters iff
+//
+//	SINR(v,u,T) = P·d(v,u)^-α / (N + Σ_{w∈T\{v}} P·d(w,u)^-α) ≥ β.
+//
+// All stations use uniform power P = N·β, which normalizes the noise-only
+// communication range r = (P/(Nβ))^{1/α} to exactly 1.
+package sinr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Params are the fixed physical-model parameters (§1.1).
+type Params struct {
+	// Alpha is the path-loss exponent; must exceed the growth degree γ
+	// of the hosting metric space.
+	Alpha float64
+	// Beta is the decoding threshold; must be ≥ 1.
+	Beta float64
+	// Noise is the ambient noise N; must be > 0.
+	Noise float64
+	// Eps is the connectivity-graph parameter ε ∈ (0,1): the
+	// communication graph keeps edges of length ≤ 1-ε.
+	Eps float64
+}
+
+// DefaultParams are the parameters used throughout tests and experiments:
+// a plane-friendly path loss α=3, threshold β=1.5, unit noise and ε=1/3.
+func DefaultParams() Params {
+	return Params{Alpha: 3, Beta: 1.5, Noise: 1, Eps: 1.0 / 3.0}
+}
+
+// Validate reports whether the parameters are admissible for a metric of
+// growth degree gamma.
+func (p Params) Validate(gamma float64) error {
+	var errs []error
+	if !(p.Alpha > gamma) {
+		errs = append(errs, fmt.Errorf("sinr: alpha %v must exceed growth degree %v", p.Alpha, gamma))
+	}
+	if !(p.Beta >= 1) {
+		errs = append(errs, fmt.Errorf("sinr: beta %v must be >= 1", p.Beta))
+	}
+	if !(p.Noise > 0) {
+		errs = append(errs, fmt.Errorf("sinr: noise %v must be > 0", p.Noise))
+	}
+	if !(p.Eps > 0 && p.Eps < 1) {
+		errs = append(errs, fmt.Errorf("sinr: eps %v must be in (0,1)", p.Eps))
+	}
+	return errors.Join(errs...)
+}
+
+// Power returns the uniform transmission power P = N·β that normalizes
+// the communication range to 1.
+func (p Params) Power() float64 { return p.Noise * p.Beta }
+
+// Range returns the noise-only communication range r = (P/(Nβ))^{1/α};
+// by construction this is 1.
+func (p Params) Range() float64 {
+	return math.Pow(p.Power()/(p.Noise*p.Beta), 1/p.Alpha)
+}
+
+// CommRadius returns the communication-graph radius 1-ε.
+func (p Params) CommRadius() float64 { return 1 - p.Eps }
+
+// Signal returns the received power P·d^-α of a transmission across
+// distance d. Distance zero yields +Inf (a station hears itself; the
+// engine never asks for it).
+func (p Params) Signal(d float64) float64 {
+	if d <= 0 {
+		return math.Inf(1)
+	}
+	return p.Power() * math.Pow(d, -p.Alpha)
+}
+
+// Decodes reports whether a signal of strength sig is decodable against
+// total interference intf (which must exclude sig itself).
+func (p Params) Decodes(sig, intf float64) bool {
+	return sig >= p.Beta*(p.Noise+intf)
+}

@@ -1,0 +1,188 @@
+package sinr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sinrcast/internal/geom"
+	"sinrcast/internal/rng"
+)
+
+// randomScene builds a reproducible random Euclidean deployment.
+func randomScene(seed uint64, n int, side float64) *geom.Euclidean {
+	r := rng.New(seed)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{X: r.Range(0, side), Y: r.Range(0, side)}
+	}
+	return geom.NewEuclidean(pts)
+}
+
+func TestPropertySingleTxReceptionIffInRange(t *testing.T) {
+	// With exactly one transmitter, reception happens exactly for
+	// stations within distance 1 (noise-only range).
+	if err := quick.Check(func(seed uint16) bool {
+		eu := randomScene(uint64(seed)+1, 12, 3)
+		e, err := NewEngine(eu, DefaultParams())
+		if err != nil {
+			return false
+		}
+		rec := e.Resolve([]int{0})
+		got := map[int]bool{}
+		for _, r := range rec {
+			if r.Transmitter != 0 {
+				return false
+			}
+			got[r.Receiver] = true
+		}
+		for u := 1; u < eu.Len(); u++ {
+			want := eu.Dist(0, u) <= 1
+			if got[u] != want {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyReceiversAreNeverTransmitters(t *testing.T) {
+	if err := quick.Check(func(seed uint16, mask uint16) bool {
+		eu := randomScene(uint64(seed)+7, 14, 2)
+		e, err := NewEngine(eu, DefaultParams())
+		if err != nil {
+			return false
+		}
+		var tx []int
+		isTx := map[int]bool{}
+		for i := 0; i < 14; i++ {
+			if mask&(1<<uint(i%16)) != 0 && len(tx) < 10 {
+				tx = append(tx, i)
+				isTx[i] = true
+			}
+		}
+		for _, r := range e.Resolve(tx) {
+			if isTx[r.Receiver] {
+				return false
+			}
+			if !isTx[r.Transmitter] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyAtMostOneReceptionPerReceiver(t *testing.T) {
+	if err := quick.Check(func(seed uint16) bool {
+		eu := randomScene(uint64(seed)+13, 20, 2)
+		e, err := NewEngine(eu, DefaultParams())
+		if err != nil {
+			return false
+		}
+		r := rng.New(uint64(seed))
+		var tx []int
+		for i := 0; i < 20; i++ {
+			if r.Bernoulli(0.3) {
+				tx = append(tx, i)
+			}
+		}
+		seen := map[int]bool{}
+		for _, rc := range e.Resolve(tx) {
+			if seen[rc.Receiver] {
+				return false
+			}
+			seen[rc.Receiver] = true
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyAddingInterfererNeverHelpsPair(t *testing.T) {
+	// For a fixed (tx, rx) pair, SINRAt is monotonically non-increasing
+	// as transmitters are added.
+	if err := quick.Check(func(seed uint16) bool {
+		eu := randomScene(uint64(seed)+29, 10, 2)
+		e, err := NewEngine(eu, DefaultParams())
+		if err != nil {
+			return false
+		}
+		base := e.SINRAt(0, 1, []int{0})
+		withOne := e.SINRAt(0, 1, []int{0, 2})
+		withTwo := e.SINRAt(0, 1, []int{0, 2, 3})
+		return withOne <= base+1e-12 && withTwo <= withOne+1e-12
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDecodedIsClosestTransmitter(t *testing.T) {
+	// Uniform power: if a reception happens, its transmitter is the
+	// closest one to the receiver.
+	if err := quick.Check(func(seed uint16) bool {
+		eu := randomScene(uint64(seed)+37, 16, 2.5)
+		e, err := NewEngine(eu, DefaultParams())
+		if err != nil {
+			return false
+		}
+		r := rng.New(uint64(seed) + 1)
+		var tx []int
+		for i := 0; i < 16; i++ {
+			if r.Bernoulli(0.25) {
+				tx = append(tx, i)
+			}
+		}
+		for _, rc := range e.Resolve(tx) {
+			d := eu.Dist(rc.Transmitter, rc.Receiver)
+			for _, other := range tx {
+				if eu.Dist(other, rc.Receiver) < d-1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyWeakDeviceSubsetOfExact(t *testing.T) {
+	// The weak-device engine's receptions are always a subset of the
+	// exact engine's.
+	if err := quick.Check(func(seed uint16) bool {
+		eu := randomScene(uint64(seed)+41, 14, 2)
+		p := DefaultParams()
+		exact, err := NewEngine(eu, p)
+		if err != nil {
+			return false
+		}
+		weak, err := NewWeakDeviceEngine(eu, p, p.CommRadius())
+		if err != nil {
+			return false
+		}
+		r := rng.New(uint64(seed) + 2)
+		var tx []int
+		for i := 0; i < 14; i++ {
+			if r.Bernoulli(0.3) {
+				tx = append(tx, i)
+			}
+		}
+		full := map[Reception]bool{}
+		for _, rc := range exact.Resolve(tx) {
+			full[rc] = true
+		}
+		for _, rc := range weak.Resolve(tx) {
+			if !full[rc] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

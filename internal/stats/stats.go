@@ -1,0 +1,134 @@
+// Package stats provides the summary statistics, least-squares fits and
+// text tables the experiment harness reports with.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds standard descriptive statistics of a sample.
+type Summary struct {
+	N                int
+	Mean, Std        float64
+	Min, Median, Max float64
+	P90              float64
+}
+
+// Summarize computes a Summary; an empty sample returns the zero value.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs)}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	s.Median = Percentile(sorted, 50)
+	s.P90 = Percentile(sorted, 90)
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) of a sorted sample by
+// linear interpolation. Panics on an empty sample.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: percentile of empty sample")
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean (0 for empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// LinFit fits y = a + b·x by least squares and returns (a, b, r²).
+// Fewer than two points return zeros.
+func LinFit(xs, ys []float64) (a, b, r2 float64) {
+	n := len(xs)
+	if n < 2 || n != len(ys) {
+		return 0, 0, 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return my, 0, 0
+	}
+	b = sxy / sxx
+	a = my - b*mx
+	if syy == 0 {
+		return a, b, 1
+	}
+	r2 = sxy * sxy / (sxx * syy)
+	return a, b, r2
+}
+
+// PowerFit fits y = c·x^k by log-log least squares and returns (c, k,
+// r²). All inputs must be positive; non-positive pairs are skipped.
+func PowerFit(xs, ys []float64) (c, k, r2 float64) {
+	var lx, ly []float64
+	for i := range xs {
+		if i < len(ys) && xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	a, b, r := LinFit(lx, ly)
+	return math.Exp(a), b, r
+}
+
+// Ratio returns a/b guarding against division by zero.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return math.Inf(1)
+	}
+	return a / b
+}
+
+// FormatSummary renders a Summary compactly.
+func FormatSummary(s Summary) string {
+	return fmt.Sprintf("n=%d mean=%.1f median=%.1f p90=%.1f min=%.0f max=%.0f",
+		s.N, s.Mean, s.Median, s.P90, s.Min, s.Max)
+}

@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("Std = %v", s.Std)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Fatalf("empty summary = %+v", z)
+	}
+	one := Summarize([]float64{7})
+	if one.Std != 0 || one.Median != 7 || one.P90 != 7 {
+		t.Fatalf("singleton = %+v", one)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {100, 40}, {-5, 10}, {105, 40},
+		{50, 25}, {25, 17.5}, {75, 32.5},
+	}
+	for _, tt := range tests {
+		if got := Percentile(sorted, tt.p); math.Abs(got-tt.want) > 1e-12 {
+			t.Fatalf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestPercentilePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestLinFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 1 + 2x
+	a, b, r2 := LinFit(xs, ys)
+	if math.Abs(a-1) > 1e-9 || math.Abs(b-2) > 1e-9 || math.Abs(r2-1) > 1e-9 {
+		t.Fatalf("LinFit = %v %v %v", a, b, r2)
+	}
+}
+
+func TestLinFitDegenerate(t *testing.T) {
+	if a, b, r2 := LinFit([]float64{1}, []float64{2}); a != 0 || b != 0 || r2 != 0 {
+		t.Fatal("single point should return zeros")
+	}
+	// Constant x: slope 0, intercept mean.
+	a, b, _ := LinFit([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if b != 0 || a != 2 {
+		t.Fatalf("constant-x fit = %v %v", a, b)
+	}
+	// Constant y: perfect horizontal fit.
+	_, b2, r2 := LinFit([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if b2 != 0 || r2 != 1 {
+		t.Fatalf("constant-y fit b=%v r2=%v", b2, r2)
+	}
+}
+
+func TestPowerFit(t *testing.T) {
+	// y = 3x²
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * x * x
+	}
+	c, k, r2 := PowerFit(xs, ys)
+	if math.Abs(c-3) > 1e-6 || math.Abs(k-2) > 1e-9 || r2 < 0.999 {
+		t.Fatalf("PowerFit = %v %v %v", c, k, r2)
+	}
+	// Non-positive values are skipped without error.
+	c2, k2, _ := PowerFit([]float64{0, 1, 2, 4}, []float64{5, 2, 4, 8})
+	if math.IsNaN(c2) || math.IsNaN(k2) {
+		t.Fatal("PowerFit produced NaN with zero input")
+	}
+}
+
+func TestLinFitProperty(t *testing.T) {
+	// Property: fitting any exact line recovers it.
+	if err := quick.Check(func(a8, b8 int8) bool {
+		a, b := float64(a8), float64(b8)
+		xs := []float64{0, 1, 2, 5, 9}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = a + b*x
+		}
+		ga, gb, _ := LinFit(xs, ys)
+		return math.Abs(ga-a) < 1e-6 && math.Abs(gb-b) < 1e-6
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Fatal("Ratio(6,3)")
+	}
+	if !math.IsInf(Ratio(1, 0), 1) {
+		t.Fatal("Ratio(1,0) should be +Inf")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil)")
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Fatal("Mean([2,4])")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("bb", 22)
+	out := tb.String()
+	if !strings.Contains(out, "Demo") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.50") || !strings.Contains(out, "22") {
+		t.Fatalf("bad rendering:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+	// Columns align: header and rows share the width of the widest cell.
+	if !strings.HasPrefix(lines[1], "name ") {
+		t.Fatalf("header misaligned: %q", lines[1])
+	}
+}
+
+func TestFormatSummary(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	out := FormatSummary(s)
+	if !strings.Contains(out, "n=3") || !strings.Contains(out, "mean=2.0") {
+		t.Fatalf("FormatSummary = %q", out)
+	}
+}

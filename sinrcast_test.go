@@ -1,0 +1,192 @@
+package sinrcast
+
+import (
+	"testing"
+)
+
+func TestFacadeBroadcastRoundTrip(t *testing.T) {
+	net, err := GenerateUniform(DefaultPhysical(), 48, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Broadcast(net, Options{Seed: 7, Payload: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllInformed {
+		t.Fatalf("broadcast incomplete after %d rounds", res.Rounds)
+	}
+	s, err := BroadcastSpontaneous(net, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.AllInformed {
+		t.Fatal("spontaneous broadcast incomplete")
+	}
+}
+
+func TestFacadeNewNetwork(t *testing.T) {
+	net, err := NewNetwork(DefaultPhysical(), []Point{{X: 0, Y: 0}, {X: 0.5, Y: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.N() != 2 || !net.Connected() {
+		t.Fatal("explicit network wrong")
+	}
+	line, err := NewLineNetwork(DefaultPhysical(), []float64{0, 0.5, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line.N() != 3 || !line.Connected() {
+		t.Fatal("line network wrong")
+	}
+}
+
+func TestFacadeColoringAndInvariants(t *testing.T) {
+	net, err := GenerateUniform(DefaultPhysical(), 64, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := Colorize(net, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(col.Colors) != net.N() {
+		t.Fatal("coloring size mismatch")
+	}
+	if m := CheckLemma1(net, col.Colors); m <= 0 || m > 1.5 {
+		t.Fatalf("Lemma1 mass = %v", m)
+	}
+	if m := CheckLemma2(net, col.Colors); m <= 0 {
+		t.Fatalf("Lemma2 mass = %v", m)
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	if _, err := GeneratePath(DefaultPhysical(), 10, 0.9, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GenerateClusters(DefaultPhysical(), 2, 5, 0.1, 0.5, 1); err != nil {
+		t.Fatal(err)
+	}
+	chain, err := GenerateExponentialChain(DefaultPhysical(), 16, 0.5, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chain.Granularity() < 100 {
+		t.Fatalf("chain granularity = %v", chain.Granularity())
+	}
+}
+
+func TestFacadeApps(t *testing.T) {
+	net, err := GenerateUniform(DefaultPhysical(), 32, 8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wake-up.
+	wake := make([]int, net.N())
+	for i := range wake {
+		wake[i] = -1
+	}
+	wake[0] = 0
+	wres, err := WakeUp(net, 3, WakeupSchedule{WakeAt: wake})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wres.AllAwake {
+		t.Fatal("wakeup incomplete")
+	}
+	// Consensus.
+	msgs := make([]int64, net.N())
+	for i := range msgs {
+		msgs[i] = int64(3 + i%5)
+	}
+	cres, err := Consensus(net, 5, 7, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cres.Correct {
+		t.Fatalf("consensus wrong: agreed=%v v=%d", cres.Agreed, cres.Values[0])
+	}
+	// Leader.
+	lres, err := ElectLeader(net, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lres.Leader < 0 {
+		t.Fatal("no leader")
+	}
+}
+
+func TestFacadeAlert(t *testing.T) {
+	net, err := GenerateUniform(DefaultPhysical(), 32, 8, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raised := make([]bool, net.N())
+	raised[3] = true
+	res, err := Alert(net, 5, raised)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatal("alert not delivered")
+	}
+	// Negative case: silent and false everywhere.
+	neg, err := Alert(net, 5, make([]bool, net.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !neg.Correct || neg.FloodTransmissions != 0 {
+		t.Fatalf("negative alert: correct=%v floodTx=%d", neg.Correct, neg.FloodTransmissions)
+	}
+}
+
+func TestFacadeProgress(t *testing.T) {
+	net, err := GeneratePath(DefaultPhysical(), 16, 0.9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Broadcast(net, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, err := Progress(net, 0, res.InformTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hp.PerHop <= 0 {
+		t.Fatalf("per-hop slope = %v", hp.PerHop)
+	}
+}
+
+func TestFacadeClusteredPath(t *testing.T) {
+	net, err := GenerateClusteredPath(DefaultPhysical(), 8, 12, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.N() != 20 || !net.Connected() {
+		t.Fatal("clustered path wrong")
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	net, err := GenerateUniform(DefaultPhysical(), 48, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, run := range map[string]func(*Network, Options) (*BroadcastResult, error){
+		"decay":  FloodDecay,
+		"daum":   FloodDaumStyle,
+		"oracle": FloodDensityOracle,
+		"tdma":   FloodGridTDMA,
+	} {
+		res, err := run(net, Options{Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.AllInformed {
+			t.Fatalf("%s incomplete after %d rounds", name, res.Rounds)
+		}
+	}
+}
