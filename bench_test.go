@@ -10,13 +10,21 @@ package sinrcast
 // table plus custom metrics where meaningful.
 
 import (
+	"runtime"
 	"testing"
 
 	"sinrcast/internal/exp"
 )
 
-// benchCfg shrinks the experiment sizes for benchmark latency.
-func benchCfg() exp.Config { return exp.Config{Seed: 2014, Trials: 2, Scale: 0.5} }
+// benchCfg shrinks the experiment sizes for benchmark latency. Trials
+// run on every available core (Workers=GOMAXPROCS); tables — and hence
+// measured medians — are identical to a Workers=1 run, only wall clock
+// changes. Four trials per data point give the concurrent harness
+// headroom to spread across cores; pass -cpu 1 to time the serial
+// baseline.
+func benchCfg() exp.Config {
+	return exp.Config{Seed: 2014, Trials: 4, Scale: 0.5, Workers: runtime.GOMAXPROCS(0)}
+}
 
 func benchTable(b *testing.B, run func(exp.Config) (interface{ String() string }, error)) {
 	b.Helper()

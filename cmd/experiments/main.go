@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"sinrcast/internal/exp"
 	"sinrcast/internal/stats"
@@ -19,14 +20,16 @@ import (
 
 func main() {
 	var (
-		seed   = flag.Uint64("seed", 2014, "experiment seed")
-		trials = flag.Int("trials", 5, "trials per data point")
-		scale  = flag.Float64("scale", 1, "network size multiplier")
-		only   = flag.Int("only", 0, "run a single experiment (1-11), 0 = all")
+		seed    = flag.Uint64("seed", 2014, "experiment seed")
+		trials  = flag.Int("trials", 5, "trials per data point")
+		scale   = flag.Float64("scale", 1, "network size multiplier")
+		only    = flag.Int("only", 0, "run a single experiment (1-11), 0 = all")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0),
+			"concurrent trials per data point (tables are identical for any value)")
 	)
 	flag.Parse()
 
-	cfg := exp.Config{Seed: *seed, Trials: *trials, Scale: *scale}
+	cfg := exp.Config{Seed: *seed, Trials: *trials, Scale: *scale, Workers: *workers}
 	runners := map[int]struct {
 		name string
 		run  func(exp.Config) (*stats.Table, error)

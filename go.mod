@@ -1,0 +1,3 @@
+module sinrcast
+
+go 1.24

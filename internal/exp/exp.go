@@ -29,6 +29,11 @@ type Config struct {
 	// Scale multiplies the base network sizes (1 = the EXPERIMENTS.md
 	// sizes; benches use smaller fractions).
 	Scale float64
+	// Workers caps how many trials run concurrently. 0 (the default)
+	// uses runtime.GOMAXPROCS(0); 1 forces serial execution. Tables
+	// are bit-identical for every value: trial randomness is derived
+	// from (Seed, experiment, data point, trial) alone (see trials.go).
+	Workers int
 }
 
 // DefaultConfig returns the full-size configuration.
@@ -68,16 +73,18 @@ func bcastCfg(net *network.Network) broadcast.Config {
 	return broadcast.DefaultConfig(net.N(), net.Space.Growth(), net.Params.Eps)
 }
 
-// medianRounds runs fn over trials seeds and returns the median round
-// count, requiring every trial to complete.
-func medianRounds(trials int, seed uint64, fn func(seed uint64) (*broadcast.Result, error)) (float64, int, error) {
+// medianRounds runs fn once per trial (concurrently up to cfg.workers())
+// and returns the median round count, requiring at least one trial to
+// complete. (expID, point) identify the data point for deterministic
+// trial seeding.
+func medianRounds(cfg Config, expID, point uint64, fn func(seed uint64) (*broadcast.Result, error)) (float64, int, error) {
+	results, err := runTrials(cfg, expID, point, fn)
+	if err != nil {
+		return 0, 0, err
+	}
 	var rounds []float64
 	fails := 0
-	for tr := 0; tr < trials; tr++ {
-		res, err := fn(seed + uint64(tr)*101)
-		if err != nil {
-			return 0, 0, err
-		}
+	for _, res := range results {
 		if !res.AllInformed {
 			fails++
 			continue
@@ -85,7 +92,7 @@ func medianRounds(trials int, seed uint64, fn func(seed uint64) (*broadcast.Resu
 		rounds = append(rounds, float64(res.Rounds))
 	}
 	if len(rounds) == 0 {
-		return 0, fails, fmt.Errorf("exp: all %d trials failed to complete", trials)
+		return 0, fails, fmt.Errorf("exp: all %d trials failed to complete", len(results))
 	}
 	return stats.Summarize(rounds).Median, fails, nil
 }
@@ -98,13 +105,13 @@ func E1NoSBroadcastVsD(cfg Config) (*stats.Table, error) {
 	t := stats.NewTable(
 		fmt.Sprintf("E1 (Theorem 1): NoSBroadcast rounds vs D, path networks, n=%d", n),
 		"D", "median-rounds", "rounds/(D·lg²n)", "fails")
-	for _, frac := range []float64{0.15, 0.3, 0.5, 0.95} {
+	for pi, frac := range []float64{0.15, 0.3, 0.5, 0.95} {
 		net, err := netgen.Path(netgen.Config{Params: physParams(), Seed: cfg.Seed}, n, frac)
 		if err != nil {
 			return nil, err
 		}
 		d, _ := net.Diameter()
-		med, fails, err := medianRounds(cfg.trials(), cfg.Seed+7, func(seed uint64) (*broadcast.Result, error) {
+		med, fails, err := medianRounds(cfg, 1, uint64(pi), func(seed uint64) (*broadcast.Result, error) {
 			return broadcast.RunNoS(net, bcastCfg(net), seed, 0, 1)
 		})
 		if err != nil {
@@ -124,13 +131,13 @@ func E2SBroadcastScaling(cfg Config) (*stats.Table, error) {
 	t := stats.NewTable(
 		fmt.Sprintf("E2 (Theorem 2): SBroadcast rounds, paths n=%d then uniform n sweep", n),
 		"network", "D", "n", "median-rounds", "rounds/(D·lgn+lg²n)", "fails")
-	for _, frac := range []float64{0.15, 0.3, 0.5, 0.95} {
+	for pi, frac := range []float64{0.15, 0.3, 0.5, 0.95} {
 		net, err := netgen.Path(netgen.Config{Params: physParams(), Seed: cfg.Seed}, n, frac)
 		if err != nil {
 			return nil, err
 		}
 		d, _ := net.Diameter()
-		med, fails, err := medianRounds(cfg.trials(), cfg.Seed+13, func(seed uint64) (*broadcast.Result, error) {
+		med, fails, err := medianRounds(cfg, 2, uint64(pi), func(seed uint64) (*broadcast.Result, error) {
 			return broadcast.RunS(net, bcastCfg(net), seed, 0, 1)
 		})
 		if err != nil {
@@ -139,13 +146,13 @@ func E2SBroadcastScaling(cfg Config) (*stats.Table, error) {
 		norm := med / (float64(d)*lg2(n) + lg2(n)*lg2(n))
 		t.AddRow("path", d, n, med, norm, fails)
 	}
-	for _, nn := range []int{cfg.scaled(48, 16), cfg.scaled(96, 32), cfg.scaled(192, 64)} {
+	for pi, nn := range []int{cfg.scaled(48, 16), cfg.scaled(96, 32), cfg.scaled(192, 64)} {
 		net, err := netgen.Uniform(netgen.Config{Params: physParams(), Seed: cfg.Seed + uint64(nn)}, nn, 10)
 		if err != nil {
 			return nil, err
 		}
 		d, _ := net.Diameter()
-		med, fails, err := medianRounds(cfg.trials(), cfg.Seed+17, func(seed uint64) (*broadcast.Result, error) {
+		med, fails, err := medianRounds(cfg, 2, uint64(4+pi), func(seed uint64) (*broadcast.Result, error) {
 			return broadcast.RunS(net, bcastCfg(net), seed, 0, 1)
 		})
 		if err != nil {
@@ -190,16 +197,22 @@ func E3Lemma1(cfg Config) (*stats.Table, error) {
 	}
 	t := stats.NewTable("E3 (Lemma 1): max per-color unit-ball probability mass",
 		"family", "n", "maxMass(worst trial)", "bound-ok(≤1.0)")
-	for _, name := range order {
+	for fi, name := range order {
 		net := nets[name]
 		par := coloring.DefaultParams(net.N(), net.Space.Growth(), net.Params.Eps)
-		worst := 0.0
-		for tr := 0; tr < cfg.trials(); tr++ {
-			res, err := coloring.Run(net, par, cfg.Seed+uint64(tr)*31)
+		masses, err := runTrials(cfg, 3, uint64(fi), func(seed uint64) (float64, error) {
+			res, err := coloring.Run(net, par, seed)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			if m := coloring.CheckLemma1(net, res.Colors).MaxMass; m > worst {
+			return coloring.CheckLemma1(net, res.Colors).MaxMass, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		worst := 0.0
+		for _, m := range masses {
+			if m > worst {
 				worst = m
 			}
 		}
@@ -217,18 +230,23 @@ func E4Lemma2(cfg Config) (*stats.Table, error) {
 	}
 	t := stats.NewTable("E4 (Lemma 2): min best-color ε/2-ball mass / 2pmax",
 		"family", "n", "minMass/2pmax(worst trial)", "bound-ok(≥1/8)")
-	for _, name := range order {
+	for fi, name := range order {
 		net := nets[name]
 		par := coloring.DefaultParams(net.N(), net.Space.Growth(), net.Params.Eps)
-		worst := math.Inf(1)
-		for tr := 0; tr < cfg.trials(); tr++ {
-			res, err := coloring.Run(net, par, cfg.Seed+uint64(tr)*31)
+		ratios, err := runTrials(cfg, 4, uint64(fi), func(seed uint64) (float64, error) {
+			res, err := coloring.Run(net, par, seed)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			ratio := coloring.CheckLemma2(net, res.Colors).MinBestMass / par.FinalColor()
-			if ratio < worst {
-				worst = ratio
+			return coloring.CheckLemma2(net, res.Colors).MinBestMass / par.FinalColor(), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		worst := math.Inf(1)
+		for _, r := range ratios {
+			if r < worst {
+				worst = r
 			}
 		}
 		t.AddRow(name, net.N(), fmt.Sprintf("%.3f", worst), worst >= 1.0/8)
@@ -262,28 +280,29 @@ func E6GeometryImpact(cfg Config) (*stats.Table, error) {
 	t := stats.NewTable(
 		fmt.Sprintf("E6 (§1.3): rounds vs granularity Rs, clustered paths, n=%d, D fixed", n),
 		"log2(Rs)", "sinrcast-NoS", "sinrcast-S", "daum-style", "daum-levels")
-	for _, ratio := range []float64{0.9, 0.75, 0.6, 0.45} {
+	for ri, ratio := range []float64{0.9, 0.75, 0.6, 0.45} {
 		net, err := netgen.ClusteredPath(netgen.Config{Params: physParams(), Seed: cfg.Seed}, pathLen, clusterSize, ratio)
 		if err != nil {
 			return nil, err
 		}
 		rs := net.Granularity()
 		src := net.N() - 1 // deepest cluster station
-		nosMed, _, err := medianRounds(cfg.trials(), cfg.Seed+3, func(seed uint64) (*broadcast.Result, error) {
+		// Data points ri*4+{0,1,2} distinguish the three algorithms.
+		nosMed, _, err := medianRounds(cfg, 6, uint64(ri*4), func(seed uint64) (*broadcast.Result, error) {
 			return broadcast.RunNoS(net, bcastCfg(net), seed, src, 1)
 		})
 		if err != nil {
 			return nil, fmt.Errorf("E6 nos ratio=%v: %w", ratio, err)
 		}
-		sMed, _, err := medianRounds(cfg.trials(), cfg.Seed+5, func(seed uint64) (*broadcast.Result, error) {
+		sMed, _, err := medianRounds(cfg, 6, uint64(ri*4+1), func(seed uint64) (*broadcast.Result, error) {
 			return broadcast.RunS(net, bcastCfg(net), seed, src, 1)
 		})
 		if err != nil {
 			return nil, fmt.Errorf("E6 s ratio=%v: %w", ratio, err)
 		}
-		daum := baseline.NewDaumStyle(net)
-		daumMed, _, err := medianRounds(cfg.trials(), cfg.Seed+9, func(seed uint64) (*broadcast.Result, error) {
-			return baseline.RunFlood(net, daum, seed, src, 0)
+		daum := baseline.NewDaumStyle(net) // for the L column; trials build their own
+		daumMed, _, err := medianRounds(cfg, 6, uint64(ri*4+2), func(seed uint64) (*broadcast.Result, error) {
+			return baseline.RunFlood(net, baseline.NewDaumStyle(net), seed, src, 0)
 		})
 		if err != nil {
 			return nil, fmt.Errorf("E6 daum ratio=%v: %w", ratio, err)
@@ -319,10 +338,11 @@ func E7BaselineComparison(cfg Config) (*stats.Table, error) {
 
 	t := stats.NewTable("E7: median broadcast rounds per algorithm and family",
 		"family", "n", "D", "NoS", "S", "decay", "density-oracle", "grid-tdma")
-	for _, f := range fams {
+	for fi, f := range fams {
 		d, _ := f.net.Diameter()
-		run := func(fn func(seed uint64) (*broadcast.Result, error)) (string, error) {
-			med, fails, err := medianRounds(cfg.trials(), cfg.Seed+23, fn)
+		// Data points fi*8+{0..4} distinguish the five algorithm slots.
+		run := func(alg uint64, fn func(seed uint64) (*broadcast.Result, error)) (string, error) {
+			med, fails, err := medianRounds(cfg, 7, uint64(fi*8)+alg, fn)
 			if err != nil {
 				return "fail", nil //nolint:nilerr // a failing baseline is a data point
 			}
@@ -331,24 +351,29 @@ func E7BaselineComparison(cfg Config) (*stats.Table, error) {
 			}
 			return fmt.Sprintf("%.0f", med), nil
 		}
-		nos, _ := run(func(seed uint64) (*broadcast.Result, error) {
+		nos, _ := run(0, func(seed uint64) (*broadcast.Result, error) {
 			return broadcast.RunNoS(f.net, bcastCfg(f.net), seed, 0, 1)
 		})
-		s, _ := run(func(seed uint64) (*broadcast.Result, error) {
+		s, _ := run(1, func(seed uint64) (*broadcast.Result, error) {
 			return broadcast.RunS(f.net, bcastCfg(f.net), seed, 0, 1)
 		})
-		dec, _ := run(func(seed uint64) (*broadcast.Result, error) {
+		dec, _ := run(2, func(seed uint64) (*broadcast.Result, error) {
 			return baseline.RunFlood(f.net, baseline.NewDecay(f.net.N()), seed, 0, 0)
 		})
-		ora, _ := run(func(seed uint64) (*broadcast.Result, error) {
+		ora, _ := run(3, func(seed uint64) (*broadcast.Result, error) {
 			return baseline.RunFlood(f.net, baseline.NewDensityOracle(f.net, 0), seed, 0, 0)
 		})
-		gtd, err := baseline.NewGridTDMA(f.net)
 		var tdma string
-		if err != nil {
+		if _, err := baseline.NewGridTDMA(f.net); err != nil {
 			tdma = "n/a"
 		} else {
-			tdma, _ = run(func(seed uint64) (*broadcast.Result, error) {
+			// GridTDMA keeps per-round oracle state, so every trial
+			// builds its own instance.
+			tdma, _ = run(4, func(seed uint64) (*broadcast.Result, error) {
+				gtd, err := baseline.NewGridTDMA(f.net)
+				if err != nil {
+					return nil, err
+				}
 				return baseline.RunFlood(f.net, gtd, seed, 0, 0)
 			})
 		}
@@ -420,7 +445,7 @@ func E9SuccessProbability(cfg Config) (*stats.Table, error) {
 	trials := cfg.trials() * 10
 	t := stats.NewTable(fmt.Sprintf("E9: success rate over %d independent runs, uniform n=%d", trials, net.N()),
 		"algorithm", "successes", "trials", "rate")
-	for _, alg := range []struct {
+	for ai, alg := range []struct {
 		name string
 		run  func(seed uint64) (*broadcast.Result, error)
 	}{
@@ -431,13 +456,19 @@ func E9SuccessProbability(cfg Config) (*stats.Table, error) {
 			return broadcast.RunS(net, bcastCfg(net), seed, 0, 1)
 		}},
 	} {
-		succ := 0
-		for tr := 0; tr < trials; tr++ {
-			res, err := alg.run(cfg.Seed + uint64(tr)*997)
+		completed, err := runNTrials(cfg, trials, 9, uint64(ai), func(seed uint64) (bool, error) {
+			res, err := alg.run(seed)
 			if err != nil {
-				return nil, err
+				return false, err
 			}
-			if res.AllInformed {
+			return res.AllInformed, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		succ := 0
+		for _, ok := range completed {
+			if ok {
 				succ++
 			}
 		}

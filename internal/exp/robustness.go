@@ -41,10 +41,10 @@ func E10ModelRobustness(cfg Config) (*stats.Table, error) {
 			return sinr.NewWeakDeviceEngine(n.Space, n.Params, n.Params.CommRadius())
 		}},
 	}
-	for _, ch := range channels {
+	for ci, ch := range channels {
 		bc := bcastCfg(net)
 		bc.Channel = ch.mk
-		med, fails, err := medianRounds(cfg.trials(), cfg.Seed+41, func(seed uint64) (*broadcast.Result, error) {
+		med, fails, err := medianRounds(cfg, 10, uint64(ci), func(seed uint64) (*broadcast.Result, error) {
 			return broadcast.RunS(net, bc, seed, 0, 1)
 		})
 		if err != nil {
@@ -89,23 +89,33 @@ func E11ColoringAblation(cfg Config) (*stats.Table, error) {
 			p.Confirm = 1
 		}},
 	}
-	for _, v := range variants {
+	for vi, v := range variants {
 		par := base
 		v.mutate(&par)
 		if err := par.Validate(); err != nil {
 			return nil, fmt.Errorf("E11 %s: %w", v.name, err)
 		}
-		worstL1, worstL2 := 0.0, 1e18
-		for tr := 0; tr < cfg.trials(); tr++ {
-			res, err := coloring.Run(net, par, cfg.Seed+uint64(tr)*77)
+		type invariants struct{ l1, l2 float64 }
+		trials, err := runTrials(cfg, 11, uint64(vi), func(seed uint64) (invariants, error) {
+			res, err := coloring.Run(net, par, seed)
 			if err != nil {
-				return nil, err
+				return invariants{}, err
 			}
-			if m := coloring.CheckLemma1(net, res.Colors).MaxMass; m > worstL1 {
-				worstL1 = m
+			return invariants{
+				l1: coloring.CheckLemma1(net, res.Colors).MaxMass,
+				l2: coloring.CheckLemma2(net, res.Colors).MinBestMass / par.FinalColor(),
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		worstL1, worstL2 := 0.0, 1e18
+		for _, inv := range trials {
+			if inv.l1 > worstL1 {
+				worstL1 = inv.l1
 			}
-			if r := coloring.CheckLemma2(net, res.Colors).MinBestMass / par.FinalColor(); r < worstL2 {
-				worstL2 = r
+			if inv.l2 < worstL2 {
+				worstL2 = inv.l2
 			}
 		}
 		t.AddRow(v.name, fmt.Sprintf("%.3f", worstL1), fmt.Sprintf("%.3f", worstL2), par.TotalRounds())

@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sinrcast/internal/rng"
+)
+
+// Trial concurrency and deterministic seeding.
+//
+// Every repetition ("trial") of an experiment data point is an
+// independent unit of work: it builds its own SINR engine, protocols
+// and RNG streams, and only reads the immutable *network.Network it is
+// given. Trials therefore run concurrently on up to Config.Workers
+// goroutines. Determinism is preserved by construction: a trial's seed
+// is a pure function of (Config.Seed, experiment id, data-point id,
+// trial index) — never of scheduling — and results are collected into
+// a slice indexed by trial, so every table is bit-identical for
+// Workers=1 and Workers=N. TestTablesIdenticalAcrossWorkers pins this
+// down.
+
+// workers resolves Config.Workers: values ≤ 0 select GOMAXPROCS.
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
+}
+
+// trialSeed derives the RNG seed of one trial from its experiment
+// coordinates. expID is the experiment number (1–11); point enumerates
+// the data points of the experiment (and, where several algorithms
+// share a data point, the algorithm slot — see each runner).
+func (c Config) trialSeed(expID, point uint64, trial int) uint64 {
+	return rng.Derive(c.Seed, expID, point, uint64(trial))
+}
+
+// runNTrials executes fn once per trial index 0..n-1, concurrently up
+// to cfg.workers(), and returns the results in trial order. fn receives
+// the trial's derived seed and must not touch shared mutable state
+// (construct engines, policies and RNGs inside fn). If any trial fails,
+// the error of the lowest-indexed failing trial is returned —
+// deterministic regardless of which goroutine hit it first.
+func runNTrials[T any](cfg Config, n int, expID, point uint64, fn func(seed uint64) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	w := cfg.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for tr := 0; tr < n; tr++ {
+			out[tr], errs[tr] = fn(cfg.trialSeed(expID, point, tr))
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for i := 0; i < w; i++ {
+			go func() {
+				defer wg.Done()
+				for {
+					tr := int(next.Add(1)) - 1
+					if tr >= n {
+						return
+					}
+					out[tr], errs[tr] = fn(cfg.trialSeed(expID, point, tr))
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// runTrials is runNTrials over the configured cfg.trials() count.
+func runTrials[T any](cfg Config, expID, point uint64, fn func(seed uint64) (T, error)) ([]T, error) {
+	return runNTrials(cfg, cfg.trials(), expID, point, fn)
+}

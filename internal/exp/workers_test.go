@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"testing"
+
+	"sinrcast/internal/stats"
+)
+
+// TestTablesIdenticalAcrossWorkers pins the determinism contract of
+// trial concurrency: every experiment table must render bit-identically
+// whether trials run serially or on many goroutines, because trial
+// seeds depend only on (Seed, experiment, data point, trial).
+func TestTablesIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	runners := []struct {
+		name string
+		run  func(Config) (*stats.Table, error)
+	}{
+		{"E1", E1NoSBroadcastVsD},
+		{"E3", E3Lemma1},
+		{"E9", E9SuccessProbability},
+		{"E11", E11ColoringAblation},
+	}
+	for _, r := range runners {
+		t.Run(r.name, func(t *testing.T) {
+			cfg := smallCfg()
+			cfg.Trials = 2
+			if r.name == "E9" || r.name == "E11" {
+				cfg.Trials = 1
+			}
+			serial := cfg
+			serial.Workers = 1
+			parallel := cfg
+			parallel.Workers = 4
+			a, err := r.run(serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := r.run(parallel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.String() != b.String() {
+				t.Fatalf("table differs across Workers:\nserial:\n%s\nparallel:\n%s", a, b)
+			}
+		})
+	}
+}
+
+func TestWorkersHelper(t *testing.T) {
+	if (Config{Workers: 3}).workers() != 3 {
+		t.Fatal("explicit Workers not honored")
+	}
+	if (Config{}).workers() < 1 {
+		t.Fatal("default workers must be >= 1")
+	}
+	if (Config{Workers: -2}).workers() < 1 {
+		t.Fatal("negative Workers must fall back to GOMAXPROCS")
+	}
+}
+
+func TestTrialSeedsDistinct(t *testing.T) {
+	c := Config{Seed: 2014}
+	seen := map[uint64][3]uint64{}
+	for exp := uint64(1); exp <= 11; exp++ {
+		for point := uint64(0); point < 40; point++ {
+			for trial := 0; trial < 10; trial++ {
+				s := c.trialSeed(exp, point, trial)
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("seed collision: (%d,%d,%d) and %v -> %d", exp, point, trial, prev, s)
+				}
+				seen[s] = [3]uint64{exp, point, uint64(trial)}
+			}
+		}
+	}
+}

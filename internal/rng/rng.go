@@ -29,6 +29,22 @@ func splitMix64(x *uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// Derive mixes a sequence of values into a single stream seed by
+// chaining SplitMix64. It is the canonical way to derive the seed of a
+// nested unit of work — e.g. Derive(seed, experiment, dataPoint, trial)
+// — so that the derived stream depends on every coordinate and two
+// distinct coordinate tuples collide only with ~2^-64 probability
+// (unlike additive schemes such as seed+trial*k, which alias across
+// neighboring data points).
+func Derive(parts ...uint64) uint64 {
+	h := uint64(0x6a09e667f3bcc909) // frac(sqrt 2), an arbitrary non-zero init
+	for _, p := range parts {
+		x := h ^ p
+		h = splitMix64(&x)
+	}
+	return h
+}
+
 // New returns a Source seeded from seed. Distinct seeds yield
 // statistically independent streams.
 func New(seed uint64) *Source {

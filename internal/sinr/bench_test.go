@@ -1,0 +1,88 @@
+package sinr
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchTx picks every strideth station as a transmitter.
+func benchTx(n, stride int) []int {
+	var tx []int
+	for i := 0; i < n; i += stride {
+		tx = append(tx, i)
+	}
+	return tx
+}
+
+// setBenchAlpha swaps the path-loss exponent after construction,
+// covering one kernel strategy per value: α=2 (reciprocal), α=2.5
+// (half-integer: sqrt + multiplies), α=4 (squared reciprocal). α=2
+// would fail Validate on the plane (it needs α > γ = 2; the
+// interference sum diverges), but only the kernel's arithmetic cost is
+// being measured here, so the bench sets the exponent directly.
+func setBenchAlpha(params *Params, kern *Kernel, alpha float64) {
+	params.Alpha = alpha
+	*kern = NewKernel(alpha)
+}
+
+// BenchmarkResolve measures one exact-engine round at production-ish
+// network sizes across kernel variants, serial vs sharded.
+func BenchmarkResolve(b *testing.B) {
+	for _, n := range []int{1024, 4096, 16384} {
+		scene := randomScene(uint64(n), n, 20)
+		tx := benchTx(n, 64)
+		for _, alpha := range []float64{2, 2.5, 4} {
+			for _, mode := range []string{"serial", "parallel"} {
+				b.Run(fmt.Sprintf("n=%d/alpha=%g/%s", n, alpha, mode), func(b *testing.B) {
+					e, err := NewEngine(scene, DefaultParams())
+					if err != nil {
+						b.Fatal(err)
+					}
+					setBenchAlpha(&e.params, &e.kern, alpha)
+					if mode == "serial" {
+						e.SetWorkers(1)
+					} else {
+						e.SetWorkers(0) // GOMAXPROCS
+						e.minParallelN = 0
+					}
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						e.Resolve(tx)
+					}
+					b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/round")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkGridResolve measures the approximate engine on the same
+// sweep; the grid's per-round cost is dominated by the near-field scan.
+func BenchmarkGridResolve(b *testing.B) {
+	for _, n := range []int{1024, 4096, 16384} {
+		scene := randomScene(uint64(n)+1, n, 20)
+		tx := benchTx(n, 64)
+		for _, alpha := range []float64{2, 2.5, 4} {
+			for _, mode := range []string{"serial", "parallel"} {
+				b.Run(fmt.Sprintf("n=%d/alpha=%g/%s", n, alpha, mode), func(b *testing.B) {
+					g, err := NewGridEngine(scene, DefaultParams(), 0.5, 1.5)
+					if err != nil {
+						b.Fatal(err)
+					}
+					setBenchAlpha(&g.params, &g.kern, alpha)
+					if mode == "serial" {
+						g.SetWorkers(1)
+					} else {
+						g.SetWorkers(0)
+						g.minParallelN = 0
+					}
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						g.Resolve(tx)
+					}
+					b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/round")
+				})
+			}
+		}
+	}
+}

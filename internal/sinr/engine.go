@@ -21,33 +21,66 @@ type Reception struct {
 // decoding candidate, so at most one message is delivered per receiver
 // per round.
 //
-// The zero value is not usable; construct with NewEngine.
+// Path loss is evaluated through a Kernel specialized for the exponent
+// α, and rounds over networks at least as large as the parallel
+// crossover are sharded by receiver range across a reusable worker
+// pool. Parallel resolution is byte-identical to serial: each receiver
+// accumulates interference in the same transmitter order regardless of
+// sharding, and shard results are concatenated in receiver order.
+//
+// The zero value is not usable; construct with NewEngine. An Engine is
+// not safe for concurrent use by multiple goroutines (it owns scratch
+// state); use one Engine per goroutine instead.
 type Engine struct {
 	params Params
+	kern   Kernel
 	space  geom.Space
 	// pts is a fast-path cache of planar positions when the space is
 	// Euclidean; nil otherwise.
 	pts []geom.Point
+
+	// workers is the resolved worker count; minParallelN is the
+	// receiver count below which rounds stay serial.
+	workers      int
+	minParallelN int
+	par          shardRunner
+	shardFn      func(shard int)
+	curTx        []int // transmitter set of the round being sharded
+
 	// scratch buffers reused across rounds to stay allocation free.
 	sig  []float64 // total received power per station
 	best []int32   // index of closest transmitter per station
-	bd2  []float64 // squared (Euclidean) or plain distance to best
+	// bestD is the distance from each station to its closest
+	// transmitter, in the unit native to the resolve path: SQUARED
+	// Euclidean distance on the fast path, RAW metric distance on the
+	// generic path. Both paths cut off decoding at bestD > 1, which is
+	// the same predicate either way because the communication range is
+	// normalized to exactly 1 (d > 1 ⇔ d² > 1).
+	bestD []float64
 	isTx []bool
+	// out is the merged reception list returned by Resolve; the
+	// shardRunner holds per-shard buffers so parallel rounds write
+	// disjoint slices and merge deterministically.
+	out []Reception
 }
 
-// NewEngine builds an engine for the given space and parameters.
+// NewEngine builds an engine for the given space and parameters. The
+// worker count defaults to runtime.GOMAXPROCS(0); see SetWorkers.
 func NewEngine(s geom.Space, p Params) (*Engine, error) {
 	if err := p.Validate(s.Growth()); err != nil {
 		return nil, err
 	}
 	n := s.Len()
 	e := &Engine{
-		params: p,
-		space:  s,
-		sig:    make([]float64, n),
-		best:   make([]int32, n),
-		bd2:    make([]float64, n),
-		isTx:   make([]bool, n),
+		params:       p,
+		kern:         NewKernel(p.Alpha),
+		space:        s,
+		workers:      resolveWorkers(0),
+		minParallelN: parallelCrossover,
+		sig:          make([]float64, n),
+		best:         make([]int32, n),
+		bestD:        make([]float64, n),
+		isTx:         make([]bool, n),
 	}
 	if eu, ok := s.(*geom.Euclidean); ok {
 		e.pts = eu.Pts
@@ -60,6 +93,12 @@ func (e *Engine) Params() Params { return e.params }
 
 // N returns the number of stations.
 func (e *Engine) N() int { return e.space.Len() }
+
+// SetWorkers sets how many goroutines Resolve may use; w ≤ 0 selects
+// runtime.GOMAXPROCS(0). Networks smaller than the parallel crossover
+// still resolve serially, and output is byte-identical for every
+// worker count.
+func (e *Engine) SetWorkers(w int) { e.workers = resolveWorkers(w) }
 
 // Resolve computes all successful receptions for one round in which
 // exactly the stations listed in tx transmit. The returned slice is
@@ -78,106 +117,132 @@ func (e *Engine) Resolve(tx []int) []Reception {
 		}
 		e.isTx[t] = true
 	}
-	var out []Reception
-	if e.pts != nil {
-		out = e.resolveEuclidean(tx)
+	if e.workers > 1 && n >= e.minParallelN {
+		e.resolveParallel(tx)
 	} else {
-		out = e.resolveGeneric(tx)
+		e.accumulate(tx, 0, n)
+		e.out = e.collect(0, n, e.out[:0])
 	}
 	for _, t := range tx {
 		e.isTx[t] = false
 	}
-	return out
+	return e.out
 }
 
-// resolveEuclidean is the hot path: flat slices, squared distances, no
-// interface calls in the inner loop.
-func (e *Engine) resolveEuclidean(tx []int) []Reception {
-	n := len(e.pts)
-	p := e.params
-	alphaHalf := p.Alpha / 2
-	pw := p.Power()
-	// maxRange2: beyond distance 1 no signal can be decoded even with
-	// zero interference, so receivers farther than 1 from their closest
-	// transmitter are skipped outright.
-	const maxRange2 = 1.0
+// resolveParallel shards the receiver range [0,n) across the worker
+// pool. Shards touch disjoint ranges of the scratch arrays and append
+// into their own reception buffers, which are then concatenated in
+// shard (= ascending receiver) order, so the merged result is
+// byte-identical to the serial one.
+func (e *Engine) resolveParallel(tx []int) {
+	ensureRunner(&e.par, e, e.workers)
+	if e.shardFn == nil {
+		e.shardFn = e.runShard
+	}
+	e.curTx = tx
+	e.out = e.par.runAndMerge(e.shardFn, e.out)
+	e.curTx = nil
+}
 
-	for u := 0; u < n; u++ {
+// runShard resolves the shard-th contiguous receiver range.
+func (e *Engine) runShard(shard int) {
+	lo, hi := e.par.shardRange(shard, e.space.Len())
+	e.accumulate(e.curTx, lo, hi)
+	e.par.shardOut[shard] = e.collect(lo, hi, e.par.shardOut[shard][:0])
+}
+
+// accumulate fills sig/best/bestD for receivers in [lo,hi).
+func (e *Engine) accumulate(tx []int, lo, hi int) {
+	if e.pts != nil {
+		e.accumulateEuclidean(tx, lo, hi)
+	} else {
+		e.accumulateGeneric(tx, lo, hi)
+	}
+}
+
+// accumulateEuclidean is the hot path: flat slices, squared distances,
+// kernel-specialized path loss, no interface calls in the inner loop.
+func (e *Engine) accumulateEuclidean(tx []int, lo, hi int) {
+	pw := e.params.Power()
+	kern := e.kern
+	for u := lo; u < hi; u++ {
 		e.sig[u] = 0
 		e.best[u] = -1
-		e.bd2[u] = math.Inf(1)
+		e.bestD[u] = math.Inf(1)
 	}
 	for _, t := range tx {
 		tp := e.pts[t]
-		for u := 0; u < n; u++ {
+		for u := lo; u < hi; u++ {
 			if e.isTx[u] {
 				continue
 			}
 			dx := e.pts[u].X - tp.X
 			dy := e.pts[u].Y - tp.Y
 			d2 := dx*dx + dy*dy
-			// Power with exponent on squared distance: d^-α = (d²)^(-α/2).
-			e.sig[u] += pw * math.Pow(d2, -alphaHalf)
-			if d2 < e.bd2[u] {
-				e.bd2[u] = d2
+			// d^-α evaluated from the squared distance: no sqrt, no Pow
+			// for the common exponents.
+			e.sig[u] += pw * kern.FromDist2(d2)
+			if d2 < e.bestD[u] {
+				e.bestD[u] = d2
 				e.best[u] = int32(t)
 			}
 		}
 	}
-	recv := make([]Reception, 0, 8)
-	for u := 0; u < n; u++ {
-		if e.isTx[u] || e.best[u] < 0 || e.bd2[u] > maxRange2 {
-			continue
-		}
-		s := pw * math.Pow(e.bd2[u], -alphaHalf)
-		intf := e.sig[u] - s
-		if intf < 0 {
-			intf = 0
-		}
-		if p.Decodes(s, intf) {
-			recv = append(recv, Reception{Receiver: u, Transmitter: int(e.best[u])})
-		}
-	}
-	return recv
 }
 
-// resolveGeneric handles arbitrary metric spaces through the interface.
-func (e *Engine) resolveGeneric(tx []int) []Reception {
-	n := e.space.Len()
-	p := e.params
-	for u := 0; u < n; u++ {
+// accumulateGeneric handles arbitrary metric spaces through the
+// interface; bestD holds raw metric distances here.
+func (e *Engine) accumulateGeneric(tx []int, lo, hi int) {
+	pw := e.params.Power()
+	kern := e.kern
+	for u := lo; u < hi; u++ {
 		e.sig[u] = 0
 		e.best[u] = -1
-		e.bd2[u] = math.Inf(1)
+		e.bestD[u] = math.Inf(1)
 	}
 	for _, t := range tx {
-		for u := 0; u < n; u++ {
+		for u := lo; u < hi; u++ {
 			if e.isTx[u] {
 				continue
 			}
 			d := e.space.Dist(t, u)
-			e.sig[u] += p.Signal(d)
-			if d < e.bd2[u] {
-				e.bd2[u] = d
+			e.sig[u] += pw * kern.FromDist(d)
+			if d < e.bestD[u] {
+				e.bestD[u] = d
 				e.best[u] = int32(t)
 			}
 		}
 	}
-	recv := make([]Reception, 0, 8)
-	for u := 0; u < n; u++ {
-		if e.isTx[u] || e.best[u] < 0 || e.bd2[u] > 1 {
+}
+
+// collect appends the receptions of receivers in [lo,hi) to dst. The
+// bestD[u] > 1 cutoff rejects receivers farther than the normalized
+// communication range 1 from their closest transmitter (no signal can
+// be decoded there even with zero interference); it is correct in both
+// distance units because 1² = 1.
+func (e *Engine) collect(lo, hi int, dst []Reception) []Reception {
+	p := e.params
+	pw := p.Power()
+	euclid := e.pts != nil
+	for u := lo; u < hi; u++ {
+		if e.isTx[u] || e.best[u] < 0 || e.bestD[u] > 1 {
 			continue
 		}
-		s := p.Signal(e.bd2[u])
+		var s float64
+		if euclid {
+			s = pw * e.kern.FromDist2(e.bestD[u])
+		} else {
+			s = pw * e.kern.FromDist(e.bestD[u])
+		}
 		intf := e.sig[u] - s
 		if intf < 0 {
 			intf = 0
 		}
 		if p.Decodes(s, intf) {
-			recv = append(recv, Reception{Receiver: u, Transmitter: int(e.best[u])})
+			dst = append(dst, Reception{Receiver: u, Transmitter: int(e.best[u])})
 		}
 	}
-	return recv
+	return dst
 }
 
 // InterferenceAt returns the total received power at station u from all

@@ -14,11 +14,17 @@ import (
 // candidate) stay exact, so approximation error only perturbs the far
 // tail, which decays as d^-α with α > 2.
 //
+// Like Engine, path loss goes through the specialized Kernel and the
+// per-receiver loop is sharded across the reusable worker pool on large
+// networks, with byte-identical output for every worker count. A
+// GridEngine is not safe for concurrent use by multiple goroutines.
+//
 // Use for large-n scaling benches; the exact Engine remains the default
 // everywhere correctness matters. TestGridEngineAgreement measures the
 // disagreement rate against the exact engine.
 type GridEngine struct {
 	params   Params
+	kern     Kernel
 	pts      []geom.Point
 	cellSize float64
 	nearR2   float64
@@ -30,11 +36,18 @@ type GridEngine struct {
 	cellItems  []int32 // station ids sorted by cell
 	cellCenter []geom.Point
 
+	workers      int
+	minParallelN int
+	par          shardRunner
+	shardFn      func(shard int)
+
 	// per-round scratch
 	cellPower []float64
 	txInCell  [][]int32
 	isTx      []bool
 	liveCells []int32
+	nearCells int
+	out       []Reception
 }
 
 // NewGridEngine builds a grid engine over Euclidean points. cellSize is
@@ -64,15 +77,18 @@ func NewGridEngine(eu *geom.Euclidean, p Params, cellSize, nearRadius float64) (
 	rows := int((maxY-minY)/cellSize) + 1
 	g := &GridEngine{
 		params:   p,
+		kern:     NewKernel(p.Alpha),
 		pts:      pts,
 		cellSize: cellSize,
 		nearR2:   nearRadius * nearRadius,
 		cols:     cols, rows: rows,
 		minX: minX, minY: minY,
-		cellOf:    make([]int32, n),
-		cellPower: make([]float64, cols*rows),
-		txInCell:  make([][]int32, cols*rows),
-		isTx:      make([]bool, n),
+		workers:      resolveWorkers(0),
+		minParallelN: parallelCrossover,
+		cellOf:       make([]int32, n),
+		cellPower:    make([]float64, cols*rows),
+		txInCell:     make([][]int32, cols*rows),
+		isTx:         make([]bool, n),
 	}
 	counts := make([]int32, cols*rows+1)
 	for i, q := range pts {
@@ -125,17 +141,21 @@ func (g *GridEngine) N() int { return len(g.pts) }
 // Params returns the physical parameters.
 func (g *GridEngine) Params() Params { return g.params }
 
+// SetWorkers sets how many goroutines Resolve may use; w ≤ 0 selects
+// runtime.GOMAXPROCS(0). Output is byte-identical for every count.
+func (g *GridEngine) SetWorkers(w int) { g.workers = resolveWorkers(w) }
+
 // Resolve computes receptions for one round (see Engine.Resolve for
-// semantics). Far-field interference is approximated per cell.
+// semantics). Far-field interference is approximated per cell. The
+// returned slice is owned by the engine and valid until the next
+// Resolve call.
 func (g *GridEngine) Resolve(tx []int) []Reception {
 	if len(tx) == 0 {
 		return nil
 	}
-	p := g.params
-	pw := p.Power()
-	alphaHalf := p.Alpha / 2
+	pw := g.params.Power()
 
-	// Aggregate transmitters by cell.
+	// Aggregate transmitters by cell (serial: it is O(|tx|)).
 	for _, t := range tx {
 		g.isTx[t] = true
 		c := g.cellOf[t]
@@ -145,13 +165,55 @@ func (g *GridEngine) Resolve(tx []int) []Reception {
 		g.cellPower[c] += pw
 		g.txInCell[c] = append(g.txInCell[c], int32(t))
 	}
-
-	var out []Reception
 	// The exact near region must cover all cells intersecting the
 	// nearRadius ball; padding by one cell diagonal is enough.
-	nearCells := int(math.Ceil(math.Sqrt(g.nearR2)/g.cellSize)) + 1
+	g.nearCells = int(math.Ceil(math.Sqrt(g.nearR2)/g.cellSize)) + 1
 
-	for u := range g.pts {
+	n := len(g.pts)
+	if g.workers > 1 && n >= g.minParallelN {
+		g.resolveParallel()
+	} else {
+		g.out = g.collectRange(0, n, g.out[:0])
+	}
+
+	// Reset scratch.
+	for _, c := range g.liveCells {
+		g.cellPower[c] = 0
+		g.txInCell[c] = g.txInCell[c][:0]
+	}
+	g.liveCells = g.liveCells[:0]
+	for _, t := range tx {
+		g.isTx[t] = false
+	}
+	return g.out
+}
+
+// resolveParallel shards the receiver loop. After aggregation all
+// per-cell state is read-only, so shards only write their own output
+// buffers; concatenating them in shard order reproduces the serial
+// receiver order exactly.
+func (g *GridEngine) resolveParallel() {
+	ensureRunner(&g.par, g, g.workers)
+	if g.shardFn == nil {
+		g.shardFn = g.runShard
+	}
+	g.out = g.par.runAndMerge(g.shardFn, g.out)
+}
+
+// runShard collects the shard-th contiguous receiver range.
+func (g *GridEngine) runShard(shard int) {
+	lo, hi := g.par.shardRange(shard, len(g.pts))
+	g.par.shardOut[shard] = g.collectRange(lo, hi, g.par.shardOut[shard][:0])
+}
+
+// collectRange resolves receivers in [lo,hi), appending receptions to
+// dst. It only reads shared state.
+func (g *GridEngine) collectRange(lo, hi int, dst []Reception) []Reception {
+	p := g.params
+	pw := p.Power()
+	kern := g.kern
+	nearCells := g.nearCells
+	for u := lo; u < hi; u++ {
 		if g.isTx[u] {
 			continue
 		}
@@ -171,7 +233,7 @@ func (g *GridEngine) Resolve(tx []int) []Reception {
 			ctr := g.cellCenter[c]
 			dx, dy := up.X-ctr.X, up.Y-ctr.Y
 			d2 := dx*dx + dy*dy
-			total += g.cellPower[c] * math.Pow(d2, -alphaHalf)
+			total += g.cellPower[c] * kern.FromDist2(d2)
 		}
 		// Near field: exact per-transmitter sums.
 		for cy := ucy - nearCells; cy <= ucy+nearCells; cy++ {
@@ -187,7 +249,7 @@ func (g *GridEngine) Resolve(tx []int) []Reception {
 					tp := g.pts[t]
 					dx, dy := up.X-tp.X, up.Y-tp.Y
 					d2 := dx*dx + dy*dy
-					total += pw * math.Pow(d2, -alphaHalf)
+					total += pw * kern.FromDist2(d2)
 					if d2 < bestD2 {
 						bestD2 = d2
 						best = t
@@ -198,26 +260,16 @@ func (g *GridEngine) Resolve(tx []int) []Reception {
 		if best < 0 || bestD2 > 1 {
 			continue
 		}
-		s := pw * math.Pow(bestD2, -alphaHalf)
+		s := pw * kern.FromDist2(bestD2)
 		intf := total - s
 		if intf < 0 {
 			intf = 0
 		}
 		if p.Decodes(s, intf) {
-			out = append(out, Reception{Receiver: u, Transmitter: int(best)})
+			dst = append(dst, Reception{Receiver: u, Transmitter: int(best)})
 		}
 	}
-
-	// Reset scratch.
-	for _, c := range g.liveCells {
-		g.cellPower[c] = 0
-		g.txInCell[c] = g.txInCell[c][:0]
-	}
-	g.liveCells = g.liveCells[:0]
-	for _, t := range tx {
-		g.isTx[t] = false
-	}
-	return out
+	return dst
 }
 
 func abs(x int) int {

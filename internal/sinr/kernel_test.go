@@ -1,0 +1,81 @@
+package sinr
+
+import (
+	"math"
+	"testing"
+
+	"sinrcast/internal/rng"
+)
+
+// kernelTolerance accepts a few ulps of divergence between a multiply
+// chain and math.Pow: binary exponentiation of exponents ≤ 64 rounds at
+// most ~log₂(64)+2 times.
+const kernelTolerance = 1e-14
+
+func relErr(got, want float64) float64 {
+	if got == want {
+		return 0
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+func TestKernelMatchesPow(t *testing.T) {
+	alphas := []float64{1, 2, 2.5, 3, 3.5, 4, 4.5, 5, 6, 7, 7.5, 8, 11, 64, math.Pi, 2.0001}
+	r := rng.New(42)
+	for _, alpha := range alphas {
+		k := NewKernel(alpha)
+		if k.Alpha() != alpha {
+			t.Fatalf("Alpha() = %v, want %v", k.Alpha(), alpha)
+		}
+		for i := 0; i < 2000; i++ {
+			// Cover several magnitudes around the unit communication range.
+			d := math.Exp(r.Range(math.Log(1e-3), math.Log(1e3)))
+			want := math.Pow(d, -alpha)
+			if e := relErr(k.FromDist(d), want); e > kernelTolerance {
+				t.Fatalf("alpha=%v d=%v: FromDist err %v (got %v want %v)",
+					alpha, d, e, k.FromDist(d), want)
+			}
+			d2 := d * d
+			want2 := math.Pow(d2, -alpha/2)
+			if e := relErr(k.FromDist2(d2), want2); e > kernelTolerance {
+				t.Fatalf("alpha=%v d2=%v: FromDist2 err %v (got %v want %v)",
+					alpha, d2, e, k.FromDist2(d2), want2)
+			}
+		}
+	}
+}
+
+func TestKernelZeroDistanceIsInf(t *testing.T) {
+	for _, alpha := range []float64{1, 2, 2.5, 3, 4, 6, math.Pi} {
+		k := NewKernel(alpha)
+		if !math.IsInf(k.FromDist(0), 1) {
+			t.Errorf("alpha=%v: FromDist(0) = %v, want +Inf", alpha, k.FromDist(0))
+		}
+		if !math.IsInf(k.FromDist2(0), 1) {
+			t.Errorf("alpha=%v: FromDist2(0) = %v, want +Inf", alpha, k.FromDist2(0))
+		}
+	}
+}
+
+func TestKernelModeSelection(t *testing.T) {
+	cases := []struct {
+		alpha float64
+		mode  kernelMode
+	}{
+		{2, kernInvSq},
+		{4, kernInvQuad},
+		{6, kernEven},
+		{3, kernOdd},
+		{1, kernOdd},
+		{2.5, kernHalf},
+		{0.5, kernHalf},
+		{math.Pi, kernPow},
+		{65, kernPow}, // beyond the multiply-chain cap
+		{2.0001, kernPow},
+	}
+	for _, c := range cases {
+		if k := NewKernel(c.alpha); k.mode != c.mode {
+			t.Errorf("alpha=%v: mode %d, want %d", c.alpha, k.mode, c.mode)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package sinr
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelCrossover is the default receiver count below which Resolve
+// stays serial even when workers are available: a round costs
+// O(n·|tx|) float ops, and below ~1k receivers the few microseconds of
+// shard dispatch outweigh the parallel win. Engines expose the knob via
+// their minParallelN field so tests can force the parallel path on
+// tiny instances.
+const parallelCrossover = 1024
+
+// workerPool is a reusable set of goroutines that execute receiver
+// shards. A pool is created lazily by an engine on its first parallel
+// round and reused for every round after, so steady-state rounds do not
+// allocate or spawn. Pools are engine-private: run is never called
+// concurrently on the same pool.
+//
+// The worker goroutines exit when the pool's job channel is closed; the
+// owning engine arranges that via runtime.AddCleanup, so dropping the
+// engine cannot leak goroutines. Between rounds the pool holds no
+// reference to the engine (run clears fn), which is what lets the
+// engine become unreachable in the first place.
+type workerPool struct {
+	workers int
+	jobs    chan int
+	wg      sync.WaitGroup
+	fn      func(shard int)
+}
+
+// newWorkerPool starts workers goroutines ready to execute shards.
+func newWorkerPool(workers int) *workerPool {
+	p := &workerPool{workers: workers, jobs: make(chan int, workers)}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for shard := range p.jobs {
+				p.fn(shard)
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// run executes fn(0) … fn(shards-1) on the pool and waits for all of
+// them. The channel send/receive pair orders the p.fn write before any
+// worker reads it, and every worker's read is ordered before wg.Wait
+// returns, so clearing fn afterwards is race-free.
+func (p *workerPool) run(shards int, fn func(shard int)) {
+	p.fn = fn
+	p.wg.Add(shards)
+	for s := 0; s < shards; s++ {
+		p.jobs <- s
+	}
+	p.wg.Wait()
+	p.fn = nil
+}
+
+// close terminates the worker goroutines. Exactly one of two paths
+// calls it per pool: the registered GC cleanup, or ensureRunner when
+// replacing the pool after a worker-count change (which stops the
+// cleanup first, so the two paths never both fire).
+func (p *workerPool) close() { close(p.jobs) }
+
+// resolveWorkers normalizes a Workers setting: values ≤ 0 select
+// runtime.GOMAXPROCS(0).
+func resolveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// shardRunner owns the parallel-resolve machinery shared by Engine and
+// GridEngine: the lazy worker pool, its GC teardown registration, and
+// the per-shard reception buffers that make the ordered merge
+// deterministic.
+type shardRunner struct {
+	pool     *workerPool
+	cleanup  runtime.Cleanup
+	shardOut [][]Reception
+}
+
+// ensureRunner (re)builds r's pool for the given worker count. owner is
+// the engine whose unreachability tears the pool down; between rounds
+// the pool holds no reference back to it (workerPool.run clears fn), so
+// the cleanup can actually fire. Replacing an existing pool stops its
+// cleanup before closing it, so the channel is never closed twice.
+func ensureRunner[T any](r *shardRunner, owner *T, workers int) {
+	if r.pool != nil && r.pool.workers == workers {
+		return
+	}
+	if r.pool != nil {
+		r.cleanup.Stop()
+		r.pool.close()
+	}
+	r.pool = newWorkerPool(workers)
+	r.cleanup = runtime.AddCleanup(owner, func(p *workerPool) { p.close() }, r.pool)
+	r.shardOut = make([][]Reception, workers)
+}
+
+// shardRange returns the half-open receiver range of one shard over n
+// receivers.
+func (r *shardRunner) shardRange(shard, n int) (lo, hi int) {
+	w := r.pool.workers
+	return shard * n / w, (shard + 1) * n / w
+}
+
+// runAndMerge executes fn for every shard on the pool, then returns out
+// (reused) with the per-shard receptions appended in shard — that is,
+// ascending receiver — order, reproducing the serial result exactly.
+func (r *shardRunner) runAndMerge(fn func(shard int), out []Reception) []Reception {
+	r.pool.run(r.pool.workers, fn)
+	out = out[:0]
+	for _, shard := range r.shardOut {
+		out = append(out, shard...)
+	}
+	return out
+}
