@@ -1,12 +1,14 @@
 // Command broadcast-sim runs one broadcast algorithm on one generated
 // network and reports the outcome: rounds, phases, inform-time spread
-// and energy (transmission counts).
+// and energy (transmission counts). The network comes from a scenario
+// spec (see -list for the family catalogue).
 //
 // Usage:
 //
-//	broadcast-sim -alg nos   -family uniform  -n 96
-//	broadcast-sim -alg s     -family path     -n 48
-//	broadcast-sim -alg decay -family expchain -n 32 -ratio 0.6
+//	broadcast-sim -alg nos   -scenario uniform:n=96
+//	broadcast-sim -alg s     -scenario path:n=48
+//	broadcast-sim -alg decay -scenario expchain:n=32,ratio=0.6
+//	broadcast-sim -list
 package main
 
 import (
@@ -16,48 +18,38 @@ import (
 
 	"sinrcast/internal/baseline"
 	"sinrcast/internal/broadcast"
-	"sinrcast/internal/netgen"
-	"sinrcast/internal/network"
+	"sinrcast/internal/scenario"
 	"sinrcast/internal/sinr"
 	"sinrcast/internal/stats"
 )
 
 func main() {
 	var (
-		alg     = flag.String("alg", "nos", "nos|s|decay|daum|oracle|tdma")
-		family  = flag.String("family", "uniform", "uniform|path|clusters|corridor|expchain")
-		n       = flag.Int("n", 96, "number of stations")
-		density = flag.Float64("density", 8, "uniform density")
-		frac    = flag.Float64("frac", 0.9, "path gap fraction")
-		ratio   = flag.Float64("ratio", 0.6, "expchain shrink ratio")
-		seed    = flag.Uint64("seed", 1, "seed for generator and protocol")
-		source  = flag.Int("source", 0, "source station")
+		alg    = flag.String("alg", "nos", "nos|s|decay|daum|oracle|tdma")
+		spec   = flag.String("scenario", "uniform:n=96", "scenario spec: family[:name=value,...]; see -list")
+		seed   = flag.Uint64("seed", 1, "seed for generator and protocol")
+		source = flag.Int("source", 0, "source station")
+		list   = flag.Bool("list", false, "list registered families with their parameters and exit")
 	)
 	flag.Parse()
 
-	p := sinr.DefaultParams()
-	cfg := netgen.Config{Params: p, Seed: *seed}
-	var (
-		net *network.Network
-		err error
-	)
-	switch *family {
-	case "uniform":
-		net, err = netgen.Uniform(cfg, *n, *density)
-	case "path":
-		net, err = netgen.Path(cfg, *n, *frac)
-	case "clusters":
-		net, err = netgen.Clusters(cfg, 4, *n/4, 0.08, 0.6)
-	case "corridor":
-		net, err = netgen.RandomWalkCorridor(cfg, *n, 0.5)
-	case "expchain":
-		net, err = netgen.ExponentialChain(cfg, *n, 0.5, *ratio)
-	default:
-		fmt.Fprintf(os.Stderr, "broadcast-sim: unknown family %q\n", *family)
+	if *list {
+		fmt.Print(scenario.Describe())
+		return
+	}
+
+	sp, err := scenario.Parse(*spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "broadcast-sim: %v\n", err)
 		os.Exit(2)
 	}
+	net, err := scenario.Generate(sp, sinr.DefaultParams(), *seed)
 	if err != nil {
 		fatal(err)
+	}
+	if *source < 0 || *source >= net.N() {
+		fmt.Fprintf(os.Stderr, "broadcast-sim: source %d outside [0,%d)\n", *source, net.N())
+		os.Exit(2)
 	}
 
 	bcfg := broadcast.DefaultConfig(net.N(), net.Space.Growth(), net.Params.Eps)
@@ -89,7 +81,7 @@ func main() {
 
 	d, _ := net.Diameter()
 	fmt.Printf("algorithm      %s\n", *alg)
-	fmt.Printf("network        %s n=%d D=%d Rs=%.3g\n", *family, net.N(), d, net.Granularity())
+	fmt.Printf("network        %s n=%d D=%d Rs=%.3g\n", sp.String(), net.N(), d, net.Granularity())
 	fmt.Printf("all informed   %v\n", res.AllInformed)
 	fmt.Printf("rounds         %d\n", res.Rounds)
 	if res.Phases > 0 {

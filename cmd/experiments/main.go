@@ -1,11 +1,16 @@
 // Command experiments regenerates every table of EXPERIMENTS.md: the
-// measured reproduction of each quantitative claim in the paper (E1–E9).
+// measured reproduction of each quantitative claim in the paper
+// (E1–E11) plus the registry-driven cross-family sweep (E12). Tables
+// stream to a pluggable sink: aligned text (default), CSV, or JSON.
 //
 // Usage:
 //
-//	experiments                 # full suite (several minutes)
-//	experiments -scale 0.5      # half-size networks
-//	experiments -only 6         # a single experiment
+//	experiments                    # full suite (several minutes)
+//	experiments -scale 0.5         # half-size networks
+//	experiments -only 6            # a single experiment
+//	experiments -format json       # machine-readable output
+//	experiments -only 12 -scenario annulus:n=96
+//	experiments -list              # scenario family catalogue
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"runtime"
 
 	"sinrcast/internal/exp"
+	"sinrcast/internal/scenario"
 	"sinrcast/internal/stats"
 )
 
@@ -23,13 +29,22 @@ func main() {
 		seed    = flag.Uint64("seed", 2014, "experiment seed")
 		trials  = flag.Int("trials", 5, "trials per data point")
 		scale   = flag.Float64("scale", 1, "network size multiplier")
-		only    = flag.Int("only", 0, "run a single experiment (1-11), 0 = all")
+		only    = flag.Int("only", 0, "run a single experiment (1-12), 0 = all")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0),
 			"concurrent trials per data point (tables are identical for any value)")
+		format = flag.String("format", "text", "output format: text|csv|json")
+		spec   = flag.String("scenario", "",
+			"restrict E12 to one scenario spec (default: every registered family)")
+		list = flag.Bool("list", false, "list registered scenario families and exit")
 	)
 	flag.Parse()
 
-	cfg := exp.Config{Seed: *seed, Trials: *trials, Scale: *scale, Workers: *workers}
+	if *list {
+		fmt.Print(scenario.Describe())
+		return
+	}
+
+	cfg := exp.Config{Seed: *seed, Trials: *trials, Scale: *scale, Workers: *workers, Scenario: *spec}
 	runners := map[int]struct {
 		name string
 		run  func(exp.Config) (*stats.Table, error)
@@ -45,14 +60,20 @@ func main() {
 		9:  {"E9", exp.E9SuccessProbability},
 		10: {"E10", exp.E10ModelRobustness},
 		11: {"E11", exp.E11ColoringAblation},
+		12: {"E12", exp.E12CrossFamilySweep},
 	}
-	ids := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	ids := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
 	if *only != 0 {
 		if _, ok := runners[*only]; !ok {
 			fmt.Fprintf(os.Stderr, "experiments: no experiment %d\n", *only)
 			os.Exit(2)
 		}
 		ids = []int{*only}
+	}
+	sink, err := stats.NewSink(*format, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
 	}
 	for _, id := range ids {
 		r := runners[id]
@@ -61,6 +82,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", r.name, err)
 			os.Exit(1)
 		}
-		fmt.Println(tb.String())
+		if err := sink.Emit(tb); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: emitting %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -1,11 +1,14 @@
-// Command netgen generates a network of the requested family and prints
+// Command netgen generates a network from a scenario spec and prints
 // its statistics: station count, edges, degree spread, diameter,
-// granularity Rs, and (optionally) an ASCII sketch of the layout.
+// granularity Rs, generator meta (retry attempts etc.), and
+// (optionally) an ASCII sketch of the layout.
 //
 // Usage:
 //
-//	netgen -family uniform -n 128 -density 8 -seed 1
-//	netgen -family expchain -n 32 -ratio 0.6 -sketch
+//	netgen -scenario uniform:n=128,density=8 -seed 1
+//	netgen -scenario expchain:n=32,ratio=0.6 -sketch
+//	netgen -scenario clusters:k=4,m=32,radius=0.05,gap=0.5
+//	netgen -list
 package main
 
 import (
@@ -13,58 +16,35 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
 	"strings"
 
-	"sinrcast/internal/netgen"
 	"sinrcast/internal/network"
+	"sinrcast/internal/scenario"
 	"sinrcast/internal/sinr"
 )
 
 func main() {
 	var (
-		family  = flag.String("family", "uniform", "uniform|grid|path|clusters|gaussian|corridor|expchain")
-		n       = flag.Int("n", 128, "number of stations")
-		density = flag.Float64("density", 8, "uniform: stations per communication ball")
-		spacing = flag.Float64("spacing", 0.3, "grid: lattice spacing")
-		frac    = flag.Float64("frac", 0.9, "path: gap as fraction of comm radius")
-		ratio   = flag.Float64("ratio", 0.6, "expchain: gap shrink ratio")
-		k       = flag.Int("k", 4, "clusters: cluster count")
-		sigma   = flag.Float64("sigma", 1.5, "gaussian: standard deviation")
-		step    = flag.Float64("step", 0.5, "corridor: walk step")
-		seed    = flag.Uint64("seed", 1, "generator seed")
-		sketch  = flag.Bool("sketch", false, "print an ASCII layout sketch")
+		spec   = flag.String("scenario", "uniform", "scenario spec: family[:name=value,...]; see -list")
+		seed   = flag.Uint64("seed", 1, "generator seed")
+		sketch = flag.Bool("sketch", false, "print an ASCII layout sketch")
+		list   = flag.Bool("list", false, "list registered families with their parameters and exit")
 	)
 	flag.Parse()
 
-	p := sinr.DefaultParams()
-	cfg := netgen.Config{Params: p, Seed: *seed}
-	var (
-		net *network.Network
-		err error
-	)
-	switch *family {
-	case "uniform":
-		net, err = netgen.Uniform(cfg, *n, *density)
-	case "grid":
-		net, err = netgen.Grid(cfg, *n, *spacing)
-	case "path":
-		net, err = netgen.Path(cfg, *n, *frac)
-	case "clusters":
-		m := *n / *k
-		if m < 1 {
-			m = 1
-		}
-		net, err = netgen.Clusters(cfg, *k, m, 0.08, 0.6)
-	case "gaussian":
-		net, err = netgen.Gaussian(cfg, *n, *sigma)
-	case "corridor":
-		net, err = netgen.RandomWalkCorridor(cfg, *n, *step)
-	case "expchain":
-		net, err = netgen.ExponentialChain(cfg, *n, 0.5, *ratio)
-	default:
-		fmt.Fprintf(os.Stderr, "netgen: unknown family %q\n", *family)
+	if *list {
+		fmt.Print(scenario.Describe())
+		return
+	}
+
+	sp, err := scenario.Parse(*spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "netgen: %v\n", err)
 		os.Exit(2)
 	}
+	p := sinr.DefaultParams()
+	net, err := scenario.Generate(sp, p, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "netgen: %v\n", err)
 		os.Exit(1)
@@ -79,7 +59,7 @@ func main() {
 			minDeg = deg
 		}
 	}
-	fmt.Printf("family        %s\n", *family)
+	fmt.Printf("scenario      %s\n", sp.String())
 	fmt.Printf("stations      %d\n", net.N())
 	fmt.Printf("edges         %d\n", net.EdgeCount())
 	fmt.Printf("degree        min=%d mean=%.1f max=%d\n", minDeg, float64(sumDeg)/float64(net.N()), net.MaxDegree())
@@ -87,6 +67,18 @@ func main() {
 	fmt.Printf("diameter      %d\n", d)
 	rs := net.Granularity()
 	fmt.Printf("granularity   Rs=%.4g (log2=%.1f)\n", rs, math.Log2(rs))
+	if len(net.Meta) > 0 {
+		keys := make([]string, 0, len(net.Meta))
+		for k := range net.Meta {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = fmt.Sprintf("%s=%.4g", k, net.Meta[k])
+		}
+		fmt.Printf("meta          %s\n", strings.Join(parts, " "))
+	}
 	fmt.Printf("phys          alpha=%.1f beta=%.1f N=%.1f eps=%.3f commRadius=%.3f\n",
 		p.Alpha, p.Beta, p.Noise, p.Eps, p.CommRadius())
 

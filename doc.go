@@ -7,8 +7,12 @@
 // The package provides:
 //
 //   - an exact SINR reception engine over bounded-growth metric spaces;
-//   - network generators (uniform, grid, path, clusters, gaussian,
-//     corridor, and the paper's granularity-exponential chain);
+//   - a scenario registry of topology families (uniform, grid, path,
+//     clusters, gaussian, corridor, the paper's granularity-exponential
+//     chain, annulus rings, dumbbells, perforated grids, density
+//     gradients, cluster stars) built from declarative Specs
+//     ("uniform:n=256,density=8" — see ParseSpec, Generate,
+//     ScenarioCatalogue);
 //   - the paper's distributed coloring primitive StabilizeProbability
 //     (§3) with Lemma 1 / Lemma 2 invariant checkers;
 //   - the broadcast algorithms NoSBroadcast (Theorem 1, non-spontaneous
@@ -57,4 +61,19 @@
 // layers compose because engine rounds below the crossover n (~1k
 // stations) never spawn shards, so small-network trials do not
 // oversubscribe the machine.
+//
+// # Scenario architecture
+//
+// Topology construction is registry-driven (internal/scenario): each
+// family registers once with typed parameter declarations (name,
+// default, range, doc) and a deterministic builder from (Spec, Physical,
+// Seed). Everything downstream is generated from the registry — the
+// CLIs' -scenario parsing and -list catalogue, the registry-wide
+// property tests (connectivity, metric validity, byte-identical
+// determinism), and experiment E12, a cross-family sweep whose coverage
+// grows automatically when a family is registered. internal/netgen
+// remains as thin wrappers for the function-per-family call sites.
+// Generators that densify-and-retry until connected report the attempt
+// count and final geometry in Network.Meta. Experiment tables stream
+// through pluggable sinks (internal/stats: aligned text, CSV, JSON).
 package sinrcast

@@ -1,7 +1,10 @@
 // Package exp implements the experiment suite of EXPERIMENTS.md: one
-// runner per quantitative claim of the paper (E1–E9), each returning an
-// aligned text table with the measured series. cmd/experiments runs the
-// full-size suite; bench_test.go runs reduced sizes.
+// runner per quantitative claim of the paper (E1–E9), robustness and
+// ablation studies (E10–E11), and the registry-driven cross-family
+// sweep E12 whose coverage grows with every scenario.Register call.
+// Each runner returns a stats.Table; cmd/experiments streams the
+// full-size suite to a text/CSV/JSON sink, bench_test.go runs reduced
+// sizes.
 package exp
 
 import (
@@ -34,6 +37,10 @@ type Config struct {
 	// are bit-identical for every value: trial randomness is derived
 	// from (Seed, experiment, data point, trial) alone (see trials.go).
 	Workers int
+	// Scenario optionally restricts E12CrossFamilySweep to one parsed
+	// scenario spec (e.g. "annulus:n=96"). Empty sweeps every
+	// registered family.
+	Scenario string
 }
 
 // DefaultConfig returns the full-size configuration.
@@ -491,6 +498,7 @@ func All(cfg Config) ([]*stats.Table, error) {
 		E9SuccessProbability,
 		E10ModelRobustness,
 		E11ColoringAblation,
+		E12CrossFamilySweep,
 	}
 	var out []*stats.Table
 	for i, r := range runners {

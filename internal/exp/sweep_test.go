@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"sinrcast/internal/scenario"
+	"sinrcast/internal/stats"
+)
+
+// TestE12CoversEveryFamily checks the sweep's defining property: one
+// row per registered family, no experiment code named any of them.
+func TestE12CoversEveryFamily(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	cfg := smallCfg()
+	cfg.Trials = 1
+	tb, err := E12CrossFamilySweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams := scenario.Names()
+	if len(tb.Rows) != len(fams) {
+		t.Fatalf("E12 rows = %d, registered families = %d", len(tb.Rows), len(fams))
+	}
+	for i, name := range fams {
+		if tb.Rows[i][0] != name {
+			t.Errorf("row %d family = %q, want %q", i, tb.Rows[i][0], name)
+		}
+	}
+
+	// The JSON sink stream of the table must round-trip through the
+	// decoder — the contract behind `experiments -format json -only 12`.
+	var buf bytes.Buffer
+	sink, err := stats.NewSink("json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Emit(tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := stats.DecodeTables(&buf)
+	if err != nil {
+		t.Fatalf("decoding -format json stream: %v", err)
+	}
+	if len(back) != 1 || !reflect.DeepEqual(back[0], tb) {
+		t.Fatalf("E12 table did not round trip through JSON")
+	}
+}
+
+// TestE12ScenarioRestriction checks Config.Scenario narrows the sweep
+// to one explicit spec.
+func TestE12ScenarioRestriction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	cfg := smallCfg()
+	cfg.Trials = 1
+	cfg.Scenario = "grid:n=25,spacing=0.5"
+	tb, err := E12CrossFamilySweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 || tb.Rows[0][0] != "grid" || tb.Rows[0][1] != "25" {
+		t.Fatalf("restricted sweep rows = %v", tb.Rows)
+	}
+	cfg.Scenario = "grid:bogus=1"
+	if _, err := E12CrossFamilySweep(cfg); err == nil {
+		t.Fatal("want error for invalid Config.Scenario")
+	}
+}

@@ -1,20 +1,18 @@
-// Package netgen generates the network families used by the experiments:
-// uniform random deployments, grids, lines, multi-scale clusters,
-// gaussian blobs, and the paper's exponential chain (footnote 2, §1.3)
-// whose granularity Rs is exponential in n.
+// Package netgen keeps the original function-per-family generator
+// surface as thin wrappers over the internal/scenario registry, which
+// now owns all topology construction. Existing callers and tests keep
+// working unchanged; new code (and new families) should use
+// scenario.Spec / scenario.Generate directly.
 //
 // Every generator returns a connected network or an error; generators
 // that sample randomly retry with densified parameters until the
-// communication graph is connected.
+// communication graph is connected, recording the attempt count and
+// the final geometry in Network.Meta.
 package netgen
 
 import (
-	"fmt"
-	"math"
-
-	"sinrcast/internal/geom"
 	"sinrcast/internal/network"
-	"sinrcast/internal/rng"
+	"sinrcast/internal/scenario"
 	"sinrcast/internal/sinr"
 )
 
@@ -27,73 +25,32 @@ type Config struct {
 	Seed uint64
 }
 
+// gen builds the named family with explicit parameter overrides.
+func (c Config) gen(family string, params map[string]float64) (*network.Network, error) {
+	return scenario.Generate(scenario.Spec{Family: family, Params: params}, c.Params, c.Seed)
+}
+
 // Uniform places n stations uniformly in a side×side square, retrying
 // with a smaller side (denser network) until connected. The initial side
-// targets the requested mean density (stations per unit ball).
+// targets the requested mean density (stations per unit ball); the side
+// actually used and the attempt count are reported in Network.Meta.
 func Uniform(cfg Config, n int, density float64) (*network.Network, error) {
-	if n < 1 {
-		return nil, fmt.Errorf("netgen: n must be >= 1, got %d", n)
-	}
 	if density <= 0 {
 		density = 6
 	}
-	r := rng.New(cfg.Seed)
-	// side chosen so that n stations give ~density stations per ball of
-	// comm radius: n·π·rad² / side² = density.
-	rad := cfg.Params.CommRadius()
-	side := math.Sqrt(float64(n) * math.Pi * rad * rad / density)
-	for attempt := 0; attempt < 40; attempt++ {
-		pts := make([]geom.Point, n)
-		for i := range pts {
-			pts[i] = geom.Point{X: r.Range(0, side), Y: r.Range(0, side)}
-		}
-		net, err := network.New(geom.NewEuclidean(pts), cfg.Params)
-		if err != nil {
-			return nil, err
-		}
-		if net.Connected() {
-			return net, nil
-		}
-		side *= 0.92 // densify and retry
-	}
-	return nil, fmt.Errorf("netgen: could not generate connected uniform network (n=%d)", n)
+	return cfg.gen("uniform", map[string]float64{"n": float64(n), "density": density})
 }
 
 // Grid places stations on a √n×√n lattice with the given spacing
 // (must be ≤ comm radius for connectivity).
 func Grid(cfg Config, n int, spacing float64) (*network.Network, error) {
-	if n < 1 {
-		return nil, fmt.Errorf("netgen: n must be >= 1, got %d", n)
-	}
-	if spacing <= 0 || spacing > cfg.Params.CommRadius() {
-		return nil, fmt.Errorf("netgen: spacing %v must be in (0, %v]", spacing, cfg.Params.CommRadius())
-	}
-	cols := int(math.Ceil(math.Sqrt(float64(n))))
-	pts := make([]geom.Point, 0, n)
-	for i := 0; i < n; i++ {
-		pts = append(pts, geom.Point{
-			X: float64(i%cols) * spacing,
-			Y: float64(i/cols) * spacing,
-		})
-	}
-	return network.New(geom.NewEuclidean(pts), cfg.Params)
+	return cfg.gen("grid", map[string]float64{"n": float64(n), "spacing": spacing})
 }
 
 // Path places n stations on a line with uniform gap = fraction·commRadius,
 // giving a path-like communication graph with diameter ~n·fraction.
 func Path(cfg Config, n int, fraction float64) (*network.Network, error) {
-	if n < 1 {
-		return nil, fmt.Errorf("netgen: n must be >= 1, got %d", n)
-	}
-	if fraction <= 0 || fraction > 1 {
-		return nil, fmt.Errorf("netgen: fraction %v must be in (0,1]", fraction)
-	}
-	gap := cfg.Params.CommRadius() * fraction
-	coords := make([]float64, n)
-	for i := range coords {
-		coords[i] = float64(i) * gap
-	}
-	return network.New(geom.NewLine(coords), cfg.Params)
+	return cfg.gen("path", map[string]float64{"n": float64(n), "frac": fraction})
 }
 
 // ExponentialChain builds the paper's footnote-2 worst case: stations on
@@ -103,27 +60,7 @@ func Path(cfg Config, n int, fraction float64) (*network.Network, error) {
 //
 // ratio must be in (0,1); first is the first gap (≤ comm radius).
 func ExponentialChain(cfg Config, n int, first, ratio float64) (*network.Network, error) {
-	if n < 1 {
-		return nil, fmt.Errorf("netgen: n must be >= 1, got %d", n)
-	}
-	if ratio <= 0 || ratio >= 1 {
-		return nil, fmt.Errorf("netgen: ratio %v must be in (0,1)", ratio)
-	}
-	if first <= 0 || first > cfg.Params.CommRadius() {
-		return nil, fmt.Errorf("netgen: first gap %v must be in (0, %v]", first, cfg.Params.CommRadius())
-	}
-	coords := make([]float64, n)
-	gap := first
-	for i := 1; i < n; i++ {
-		coords[i] = coords[i-1] + gap
-		gap *= ratio
-		// Clamp to avoid denormal-gap pathologies in float math while
-		// preserving exponential granularity.
-		if gap < 1e-12 {
-			gap = 1e-12
-		}
-	}
-	return network.New(geom.NewLine(coords), cfg.Params)
+	return cfg.gen("expchain", map[string]float64{"n": float64(n), "first": first, "ratio": ratio})
 }
 
 // Clusters places k dense clusters of m stations each (n = k·m) along a
@@ -132,59 +69,16 @@ func ExponentialChain(cfg Config, n int, first, ratio float64) (*network.Network
 // radius for connectivity). This is the paper's motivating "non-uniform
 // density" scenario: per-ball densities differ by orders of magnitude.
 func Clusters(cfg Config, k, m int, clusterRadius, bridgeGap float64) (*network.Network, error) {
-	if k < 1 || m < 1 {
-		return nil, fmt.Errorf("netgen: k=%d, m=%d must be >= 1", k, m)
-	}
-	if clusterRadius <= 0 || clusterRadius > cfg.Params.CommRadius()/2 {
-		return nil, fmt.Errorf("netgen: clusterRadius %v out of range", clusterRadius)
-	}
-	if bridgeGap <= 0 || bridgeGap > cfg.Params.CommRadius() {
-		return nil, fmt.Errorf("netgen: bridgeGap %v out of range", bridgeGap)
-	}
-	r := rng.New(cfg.Seed)
-	pts := make([]geom.Point, 0, k*m)
-	for c := 0; c < k; c++ {
-		cx := float64(c) * bridgeGap
-		// First station of each cluster sits exactly at the hub so
-		// consecutive hubs are adjacent.
-		pts = append(pts, geom.Point{X: cx, Y: 0})
-		for s := 1; s < m; s++ {
-			ang := r.Range(0, 2*math.Pi)
-			rad := clusterRadius * math.Sqrt(r.Float64())
-			pts = append(pts, geom.Point{
-				X: cx + rad*math.Cos(ang),
-				Y: rad * math.Sin(ang),
-			})
-		}
-	}
-	return network.New(geom.NewEuclidean(pts), cfg.Params)
+	return cfg.gen("clusters", map[string]float64{
+		"k": float64(k), "m": float64(m), "radius": clusterRadius, "gap": bridgeGap,
+	})
 }
 
 // Gaussian places n stations in a 2D gaussian blob with the given
-// standard deviation, retrying with smaller sigma until connected.
+// standard deviation, retrying with smaller sigma until connected; the
+// sigma actually used and the attempt count are reported in Network.Meta.
 func Gaussian(cfg Config, n int, sigma float64) (*network.Network, error) {
-	if n < 1 {
-		return nil, fmt.Errorf("netgen: n must be >= 1, got %d", n)
-	}
-	if sigma <= 0 {
-		return nil, fmt.Errorf("netgen: sigma %v must be positive", sigma)
-	}
-	r := rng.New(cfg.Seed)
-	for attempt := 0; attempt < 40; attempt++ {
-		pts := make([]geom.Point, n)
-		for i := range pts {
-			pts[i] = geom.Point{X: sigma * r.NormFloat64(), Y: sigma * r.NormFloat64()}
-		}
-		net, err := network.New(geom.NewEuclidean(pts), cfg.Params)
-		if err != nil {
-			return nil, err
-		}
-		if net.Connected() {
-			return net, nil
-		}
-		sigma *= 0.9
-	}
-	return nil, fmt.Errorf("netgen: could not generate connected gaussian network (n=%d)", n)
+	return cfg.gen("gaussian", map[string]float64{"n": float64(n), "sigma": sigma})
 }
 
 // ClusteredPath builds the E6 experiment topology: a path of pathLen
@@ -195,51 +89,14 @@ func Gaussian(cfg Config, n int, sigma float64) (*network.Network, error) {
 // from diameter: geometry-sensitive algorithms slow down along Rs,
 // geometry-oblivious ones stay flat.
 func ClusteredPath(cfg Config, pathLen, clusterSize int, ratio float64) (*network.Network, error) {
-	if pathLen < 2 || clusterSize < 1 {
-		return nil, fmt.Errorf("netgen: pathLen=%d, clusterSize=%d out of range", pathLen, clusterSize)
-	}
-	if ratio <= 0 || ratio >= 1 {
-		return nil, fmt.Errorf("netgen: ratio %v must be in (0,1)", ratio)
-	}
-	gap := cfg.Params.CommRadius() * 0.9
-	coords := make([]float64, 0, pathLen+clusterSize)
-	for i := 0; i < pathLen; i++ {
-		coords = append(coords, float64(i)*gap)
-	}
-	// The cluster hangs off station 0 toward negative coordinates, well
-	// within one communication ball.
-	cgap := cfg.Params.CommRadius() / 8
-	pos := 0.0
-	for i := 0; i < clusterSize; i++ {
-		pos -= cgap
-		coords = append(coords, pos)
-		cgap *= ratio
-		if cgap < 1e-12 {
-			cgap = 1e-12
-		}
-	}
-	return network.New(geom.NewLine(coords), cfg.Params)
+	return cfg.gen("clusteredpath", map[string]float64{
+		"pathlen": float64(pathLen), "cluster": float64(clusterSize), "ratio": ratio,
+	})
 }
 
 // RandomWalkCorridor grows a connected "snake" deployment: each next
 // station is placed a uniform step (within comm radius) from the
 // previous one, producing large-diameter meandering networks.
 func RandomWalkCorridor(cfg Config, n int, step float64) (*network.Network, error) {
-	if n < 1 {
-		return nil, fmt.Errorf("netgen: n must be >= 1, got %d", n)
-	}
-	if step <= 0 || step > cfg.Params.CommRadius() {
-		return nil, fmt.Errorf("netgen: step %v out of (0, comm radius]", step)
-	}
-	r := rng.New(cfg.Seed)
-	pts := make([]geom.Point, n)
-	heading := 0.0
-	for i := 1; i < n; i++ {
-		heading += r.Range(-0.5, 0.5)
-		pts[i] = geom.Point{
-			X: pts[i-1].X + step*math.Cos(heading),
-			Y: pts[i-1].Y + step*math.Sin(heading),
-		}
-	}
-	return network.New(geom.NewEuclidean(pts), cfg.Params)
+	return cfg.gen("corridor", map[string]float64{"n": float64(n), "step": step})
 }

@@ -20,6 +20,11 @@ type Network struct {
 	// Adj is the adjacency list of the communication graph
 	// (edges of metric length ≤ 1-ε), excluding self-loops.
 	Adj [][]int32
+	// Meta records generator-reported facts about how the deployment
+	// was produced — e.g. the connectivity-retry attempt count and the
+	// final side/sigma a densifying generator actually used. Nil for
+	// hand-built networks; keys are generator-specific.
+	Meta map[string]float64
 }
 
 // New builds the network and its communication graph. For Euclidean

@@ -1,0 +1,206 @@
+// Package scenario is the registry of topology families: named,
+// self-describing network generators that build deterministic
+// deployments from a declarative Spec (family name + parameter map,
+// parseable from the compact string form "uniform:n=256,density=8").
+//
+// Every family declares its typed parameters (name, default, range,
+// doc), so command-line tools list the full catalogue with -list and
+// experiments can sweep *every* registered family without naming any
+// of them (exp.E12CrossFamilySweep). internal/netgen keeps its
+// function-per-family surface as thin wrappers over this registry.
+//
+// Registering a family makes it visible everywhere at once: the three
+// CLIs (netgen, broadcast-sim, experiments), the cross-family sweep,
+// the registry-wide property tests, and the public sinrcast.Generate.
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"sinrcast/internal/network"
+	"sinrcast/internal/rng"
+	"sinrcast/internal/sinr"
+)
+
+// Param describes one parameter of a topology family.
+type Param struct {
+	// Name is the key used in Spec.Params and the compact string form.
+	Name string
+	// Doc is a one-line description shown by -list.
+	Doc string
+	// Default is the value used when a Spec omits the parameter.
+	Default float64
+	// Min and Max bound the accepted values (inclusive). Builders may
+	// apply stricter, physics-dependent checks (e.g. spacing ≤ comm
+	// radius) that static bounds cannot express.
+	Min, Max float64
+	// Int marks integer-valued parameters (station counts etc.).
+	Int bool
+}
+
+// Build carries the resolved inputs of one generation: physical
+// parameters, seed, and the family's parameter values with defaults
+// filled in and ranges checked.
+type Build struct {
+	// Phys are the physical parameters (notably ε, which fixes the
+	// communication radius 1-ε).
+	Phys sinr.Params
+	// Seed drives all sampling.
+	Seed uint64
+
+	params map[string]float64
+}
+
+// Float returns the resolved value of a declared parameter. It panics
+// on undeclared names: that is a bug in the family definition, not a
+// user error (user input is validated before Build is constructed).
+func (b Build) Float(name string) float64 {
+	v, ok := b.params[name]
+	if !ok {
+		panic(fmt.Sprintf("scenario: builder read undeclared parameter %q", name))
+	}
+	return v
+}
+
+// Int returns a declared integer parameter.
+func (b Build) Int(name string) int { return int(b.Float(name)) }
+
+// Rng returns a fresh deterministic stream seeded from Build.Seed.
+func (b Build) Rng() *rng.Source { return rng.New(b.Seed) }
+
+// Family is one registered topology generator.
+type Family struct {
+	// Name identifies the family in Spec strings; lowercase.
+	Name string
+	// Doc is a one-line description shown by -list.
+	Doc string
+	// Params declares the accepted parameters in display order.
+	Params []Param
+	// ForN returns parameter overrides sizing the family to ≈n
+	// stations, for cross-family sweeps at matched n. When nil,
+	// SpecForN sets the parameter literally named "n" if one exists.
+	ForN func(n int) map[string]float64
+	// Build generates the deployment. It must be deterministic in
+	// (Build.Phys, Build.Seed, params): same inputs, byte-identical
+	// positions.
+	Build func(b Build) (*network.Network, error)
+}
+
+// param looks up a declared parameter by name.
+func (f *Family) param(name string) (Param, bool) {
+	for _, p := range f.Params {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Param{}, false
+}
+
+// SpecForN returns a Spec sizing the family to approximately n
+// stations (exactly n for most families).
+func (f *Family) SpecForN(n int) Spec {
+	if f.ForN != nil {
+		return Spec{Family: f.Name, Params: f.ForN(n)}
+	}
+	if _, ok := f.param("n"); ok {
+		return Spec{Family: f.Name, Params: map[string]float64{"n": float64(n)}}
+	}
+	return Spec{Family: f.Name}
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]*Family{}
+)
+
+// Register adds a family to the registry. It panics on an empty or
+// duplicate name, a missing Build function, or a Param whose default
+// violates its own bounds — all programming errors caught at init.
+func Register(f Family) {
+	if f.Name == "" {
+		panic("scenario: Register with empty family name")
+	}
+	if f.Build == nil {
+		panic(fmt.Sprintf("scenario: family %q has no Build function", f.Name))
+	}
+	seen := map[string]bool{}
+	for _, p := range f.Params {
+		if p.Name == "" || seen[p.Name] {
+			panic(fmt.Sprintf("scenario: family %q declares empty or duplicate parameter %q", f.Name, p.Name))
+		}
+		seen[p.Name] = true
+		if p.Default < p.Min || p.Default > p.Max {
+			panic(fmt.Sprintf("scenario: family %q parameter %q default %v outside [%v, %v]",
+				f.Name, p.Name, p.Default, p.Min, p.Max))
+		}
+		if p.Int && p.Default != math.Trunc(p.Default) {
+			panic(fmt.Sprintf("scenario: family %q integer parameter %q has fractional default %v",
+				f.Name, p.Name, p.Default))
+		}
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[f.Name]; dup {
+		panic(fmt.Sprintf("scenario: family %q registered twice", f.Name))
+	}
+	cp := f
+	registry[f.Name] = &cp
+}
+
+// Lookup returns the named family.
+func Lookup(name string) (*Family, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	f, ok := registry[name]
+	return f, ok
+}
+
+// Families returns every registered family sorted by name.
+func Families() []*Family {
+	regMu.RLock()
+	out := make([]*Family, 0, len(registry))
+	for _, f := range registry {
+		out = append(out, f)
+	}
+	regMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns the sorted names of all registered families.
+func Names() []string {
+	fams := Families()
+	out := make([]string, len(fams))
+	for i, f := range fams {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// Describe renders the catalogue of registered families with their
+// parameter docs — the text behind every CLI's -list flag.
+func Describe() string {
+	var sb strings.Builder
+	for _, f := range Families() {
+		fmt.Fprintf(&sb, "%s — %s\n", f.Name, f.Doc)
+		width := 0
+		for _, p := range f.Params {
+			if len(p.Name) > width {
+				width = len(p.Name)
+			}
+		}
+		for _, p := range f.Params {
+			def := formatValue(p.Default)
+			kind := ""
+			if p.Int {
+				kind = ", int"
+			}
+			fmt.Fprintf(&sb, "    %-*s  %s (default %s%s)\n", width, p.Name, p.Doc, def, kind)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,150 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sinrcast/internal/network"
+	"sinrcast/internal/sinr"
+)
+
+// maxIntParam caps integer parameters (station counts, cluster
+// counts, …): large enough for any real deployment, small enough that
+// int conversion and slice allocation stay well-defined.
+const maxIntParam = 1e9
+
+// Spec is a declarative scenario: a family name plus parameter
+// overrides. The zero value of Params means "all defaults". A Spec,
+// the physical parameters, and a seed fully determine the generated
+// network (see Generate).
+type Spec struct {
+	Family string
+	Params map[string]float64
+}
+
+// String renders the canonical compact form "family:k=v,k=v" with
+// parameters sorted by name; Parse(s.String()) reproduces s exactly.
+func (s Spec) String() string {
+	if len(s.Params) == 0 {
+		return s.Family
+	}
+	keys := make([]string, 0, len(s.Params))
+	for k := range s.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString(s.Family)
+	for i, k := range keys {
+		if i == 0 {
+			sb.WriteByte(':')
+		} else {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(formatValue(s.Params[k]))
+	}
+	return sb.String()
+}
+
+// formatValue renders a parameter value in the shortest form that
+// round-trips through strconv.ParseFloat.
+func formatValue(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Parse reads the compact spec form "family" or
+// "family:name=value,name=value". The family must be registered and
+// every parameter declared by it; values must parse as numbers.
+// (Range and integrality are checked by Generate, so specs built
+// programmatically get the same validation.)
+func Parse(s string) (Spec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Spec{}, fmt.Errorf("scenario: empty spec (want \"family\" or \"family:name=value,...\")")
+	}
+	name, rest, hasParams := strings.Cut(s, ":")
+	f, ok := Lookup(name)
+	if !ok {
+		return Spec{}, fmt.Errorf("scenario: unknown family %q (known: %s)", name, strings.Join(Names(), ", "))
+	}
+	spec := Spec{Family: name}
+	if !hasParams {
+		return spec, nil
+	}
+	if strings.TrimSpace(rest) == "" {
+		return Spec{}, fmt.Errorf("scenario: %s: empty parameter list after ':'", name)
+	}
+	spec.Params = map[string]float64{}
+	for _, pair := range strings.Split(rest, ",") {
+		key, val, ok := strings.Cut(pair, "=")
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		if !ok || key == "" || val == "" {
+			return Spec{}, fmt.Errorf("scenario: %s: malformed parameter %q (want name=value)", name, pair)
+		}
+		p, declared := f.param(key)
+		if !declared {
+			return Spec{}, fmt.Errorf("scenario: family %s has no parameter %q (has: %s)",
+				name, key, strings.Join(paramNames(f), ", "))
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return Spec{}, fmt.Errorf("scenario: %s: parameter %s=%q is not a number", name, p.Name, val)
+		}
+		if _, dup := spec.Params[key]; dup {
+			return Spec{}, fmt.Errorf("scenario: %s: parameter %q given twice", name, key)
+		}
+		spec.Params[key] = v
+	}
+	return spec, nil
+}
+
+func paramNames(f *Family) []string {
+	out := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// Generate builds the network described by spec under the given
+// physical parameters and seed. Defaults fill omitted parameters;
+// unknown names, out-of-range values, and fractional values for
+// integer parameters are rejected.
+func Generate(spec Spec, phys sinr.Params, seed uint64) (*network.Network, error) {
+	f, ok := Lookup(spec.Family)
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown family %q (known: %s)", spec.Family, strings.Join(Names(), ", "))
+	}
+	resolved := make(map[string]float64, len(f.Params))
+	for _, p := range f.Params {
+		resolved[p.Name] = p.Default
+	}
+	for name, v := range spec.Params {
+		p, declared := f.param(name)
+		if !declared {
+			return nil, fmt.Errorf("scenario: family %s has no parameter %q (has: %s)",
+				f.Name, name, strings.Join(paramNames(f), ", "))
+		}
+		if v < p.Min || v > p.Max || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("scenario: %s: parameter %s=%s outside [%s, %s]",
+				f.Name, p.Name, formatValue(v), formatValue(p.Min), formatValue(p.Max))
+		}
+		if p.Int {
+			if v != math.Trunc(v) {
+				return nil, fmt.Errorf("scenario: %s: parameter %s=%s must be an integer",
+					f.Name, p.Name, formatValue(v))
+			}
+			// Bound sizes before int conversion: huge values would
+			// overflow int or hang allocation, not build a network.
+			if math.Abs(v) > maxIntParam {
+				return nil, fmt.Errorf("scenario: %s: parameter %s=%s exceeds the size limit %s",
+					f.Name, p.Name, formatValue(v), formatValue(maxIntParam))
+			}
+		}
+		resolved[name] = v
+	}
+	return f.Build(Build{Phys: phys, Seed: seed, params: resolved})
+}

@@ -1,0 +1,144 @@
+package scenario
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sinrcast/internal/sinr"
+)
+
+// TestSpecStringGolden pins the canonical compact form: parameters
+// sorted by name, shortest float rendering, family alone when no
+// parameters are set.
+func TestSpecStringGolden(t *testing.T) {
+	for _, tc := range []struct {
+		spec Spec
+		want string
+	}{
+		{Spec{Family: "uniform"}, "uniform"},
+		{Spec{Family: "uniform", Params: map[string]float64{"n": 256, "density": 8}}, "uniform:density=8,n=256"},
+		{Spec{Family: "expchain", Params: map[string]float64{"ratio": 0.6, "n": 32, "first": 0.5}}, "expchain:first=0.5,n=32,ratio=0.6"},
+		{Spec{Family: "clusters", Params: map[string]float64{"k": 4, "m": 24, "radius": 0.08, "gap": 0.6}}, "clusters:gap=0.6,k=4,m=24,radius=0.08"},
+	} {
+		if got := tc.spec.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+// TestParseRoundTrip checks Parse(s).String() == canonical form for
+// spaced, reordered and bare inputs.
+func TestParseRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want string
+	}{
+		{"uniform", "uniform"},
+		{"uniform:n=256,density=8", "uniform:density=8,n=256"},
+		{" uniform:n=256 , density=8 ", "uniform:density=8,n=256"},
+		{"grid:spacing=0.25,n=49", "grid:n=49,spacing=0.25"},
+		{"annulus:thickness=0.3", "annulus:thickness=0.3"},
+		{"starclusters:arms=7,hops=2", "starclusters:arms=7,hops=2"},
+	} {
+		sp, err := Parse(tc.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.in, err)
+			continue
+		}
+		if got := sp.String(); got != tc.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", tc.in, got, tc.want)
+		}
+		again, err := Parse(sp.String())
+		if err != nil {
+			t.Errorf("reparse %q: %v", sp.String(), err)
+			continue
+		}
+		if again.String() != tc.want {
+			t.Errorf("reparse drifted: %q -> %q", tc.want, again.String())
+		}
+	}
+}
+
+// TestParseErrors checks the error surface of the compact form.
+func TestParseErrors(t *testing.T) {
+	for _, tc := range []struct {
+		in      string
+		wantSub string
+	}{
+		{"", "empty spec"},
+		{"nosuchfamily", "unknown family"},
+		{"nosuchfamily:n=4", "unknown family"},
+		{"uniform:", "empty parameter list"},
+		{"uniform:n", "malformed parameter"},
+		{"uniform:n=", "malformed parameter"},
+		{"uniform:=8", "malformed parameter"},
+		{"uniform:bogus=1", "no parameter \"bogus\""},
+		{"uniform:n=abc", "not a number"},
+		{"uniform:n=4,n=5", "given twice"},
+	} {
+		_, err := Parse(tc.in)
+		if err == nil {
+			t.Errorf("Parse(%q): want error containing %q, got nil", tc.in, tc.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("Parse(%q) error = %q, want substring %q", tc.in, err, tc.wantSub)
+		}
+	}
+}
+
+// TestGenerateValidation checks range, integrality and unknown-name
+// rejection for programmatically built specs.
+func TestGenerateValidation(t *testing.T) {
+	phys := sinr.DefaultParams()
+	for _, tc := range []struct {
+		spec    Spec
+		wantSub string
+	}{
+		{Spec{Family: "nope"}, "unknown family"},
+		{Spec{Family: "uniform", Params: map[string]float64{"bogus": 1}}, "no parameter"},
+		{Spec{Family: "uniform", Params: map[string]float64{"n": 0}}, "outside"},
+		{Spec{Family: "uniform", Params: map[string]float64{"n": 2.5}}, "must be an integer"},
+		{Spec{Family: "path", Params: map[string]float64{"frac": 1.5}}, "outside"},
+		{Spec{Family: "path", Params: map[string]float64{"n": 4, "frac": 0}}, "must be in (0,1]"},
+		{Spec{Family: "grid", Params: map[string]float64{"spacing": 10}}, "spacing"},
+		{Spec{Family: "expchain", Params: map[string]float64{"first": 5}}, "first gap"},
+		{Spec{Family: "clusters", Params: map[string]float64{"radius": 0.5}}, "radius"},
+		{Spec{Family: "annulus", Params: map[string]float64{"thickness": 1.99, "density": 0}}, "density"},
+		{Spec{Family: "dumbbell", Params: map[string]float64{"n": 2}}, "too small"},
+		{Spec{Family: "starclusters", Params: map[string]float64{"radius": 0.5}}, "radius"},
+		{Spec{Family: "uniform", Params: map[string]float64{"n": 1e300}}, "exceeds the size limit"},
+		{Spec{Family: "uniform", Params: map[string]float64{"density": math.Inf(1)}}, "outside"},
+		{Spec{Family: "gridholes", Params: map[string]float64{"hole": 1e6}}, "too large"},
+	} {
+		_, err := Generate(tc.spec, phys, 1)
+		if err == nil {
+			t.Errorf("Generate(%v): want error containing %q, got nil", tc.spec, tc.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("Generate(%v) error = %q, want substring %q", tc.spec, err, tc.wantSub)
+		}
+	}
+	// Defaults alone must build every family.
+	if _, err := Generate(Spec{Family: "uniform"}, phys, 1); err != nil {
+		t.Errorf("defaults-only uniform: %v", err)
+	}
+}
+
+// TestDescribeListsEverything checks the -list catalogue names every
+// family and every parameter.
+func TestDescribeListsEverything(t *testing.T) {
+	desc := Describe()
+	for _, f := range Families() {
+		if !strings.Contains(desc, f.Name+" — ") {
+			t.Errorf("catalogue missing family %q", f.Name)
+		}
+		for _, p := range f.Params {
+			if !strings.Contains(desc, p.Doc) {
+				t.Errorf("catalogue missing doc for %s.%s", f.Name, p.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Table encoders and decoders. The text form (Table.String) stays the
+// human-facing default; CSV and JSON are the machine-readable sinks
+// used by cmd/experiments -format. Both round-trip: ReadCSV/ReadJSON
+// reproduce the encoded table exactly.
+
+// titleMarker tags the CSV record carrying the table title, so a CSV
+// table round-trips without colliding with ordinary two-column rows.
+const titleMarker = "#table"
+
+// WriteCSV encodes the table as CSV: an optional ["#table", title]
+// record, the header record, then one record per row.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if t.Title != "" {
+		if err := cw.Write([]string{titleMarker, t.Title}); err != nil {
+			return err
+		}
+	}
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV decodes one WriteCSV-encoded table.
+func ReadCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // ragged rows are legal in Table
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("stats: reading CSV table: %w", err)
+	}
+	t := &Table{}
+	if len(recs) > 0 && len(recs[0]) == 2 && recs[0][0] == titleMarker {
+		t.Title = recs[0][1]
+		recs = recs[1:]
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("stats: CSV table missing header record")
+	}
+	t.Headers = recs[0]
+	if len(recs) > 1 {
+		t.Rows = recs[1:]
+	}
+	return t, nil
+}
+
+// WriteJSON encodes the table as one indented JSON object.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// ReadJSON decodes one WriteJSON-encoded table.
+func ReadJSON(r io.Reader) (*Table, error) {
+	var t Table
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("stats: reading JSON table: %w", err)
+	}
+	return &t, nil
+}
+
+// DecodeTables decodes the JSON array emitted by the JSON sink
+// (cmd/experiments -format json) back into tables.
+func DecodeTables(r io.Reader) ([]*Table, error) {
+	var ts []*Table
+	if err := json.NewDecoder(r).Decode(&ts); err != nil {
+		return nil, fmt.Errorf("stats: reading JSON table stream: %w", err)
+	}
+	return ts, nil
+}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+)
+
+// Sink consumes a stream of experiment tables and renders them to an
+// underlying writer as they arrive. Close flushes trailing syntax (the
+// JSON sink's closing bracket); it does not close the writer.
+type Sink interface {
+	Emit(*Table) error
+	Close() error
+}
+
+// NewSink returns the sink for a format name: "text" (or "") renders
+// aligned tables separated by blank lines, "csv" emits one CSV block
+// per table, "json" streams one JSON array of table objects
+// (decodable with DecodeTables).
+func NewSink(format string, w io.Writer) (Sink, error) {
+	switch format {
+	case "", "text":
+		return &textSink{w: w}, nil
+	case "csv":
+		return &csvSink{w: w}, nil
+	case "json":
+		return &jsonSink{w: w}, nil
+	default:
+		return nil, fmt.Errorf("stats: unknown sink format %q (want text, csv, or json)", format)
+	}
+}
+
+// textSink reproduces the historical fmt.Println(t.String()) output
+// byte for byte: the aligned table, then one separating blank line.
+type textSink struct{ w io.Writer }
+
+func (s *textSink) Emit(t *Table) error {
+	_, err := io.WriteString(s.w, t.String()+"\n")
+	return err
+}
+
+func (s *textSink) Close() error { return nil }
+
+type csvSink struct {
+	w     io.Writer
+	wrote bool
+}
+
+func (s *csvSink) Emit(t *Table) error {
+	if s.wrote {
+		// Blank line between tables; encoding/csv readers skip it.
+		if _, err := io.WriteString(s.w, "\n"); err != nil {
+			return err
+		}
+	}
+	s.wrote = true
+	return t.WriteCSV(s.w)
+}
+
+func (s *csvSink) Close() error { return nil }
+
+type jsonSink struct {
+	w     io.Writer
+	wrote bool
+}
+
+func (s *jsonSink) Emit(t *Table) error {
+	sep := "[\n"
+	if s.wrote {
+		sep = ",\n"
+	}
+	s.wrote = true
+	if _, err := io.WriteString(s.w, sep); err != nil {
+		return err
+	}
+	return t.WriteJSON(s.w)
+}
+
+func (s *jsonSink) Close() error {
+	out := "]\n"
+	if !s.wrote {
+		out = "[]\n"
+	}
+	_, err := io.WriteString(s.w, out)
+	return err
+}

@@ -6,10 +6,12 @@ import (
 )
 
 // Table is a simple aligned text table used in experiment reports.
+// String renders the human-facing text form; codec.go adds CSV and
+// JSON encodings and sink.go streams tables to a pluggable output.
 type Table struct {
-	Title   string
-	Headers []string
-	Rows    [][]string
+	Title   string     `json:"title,omitempty"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
 }
 
 // NewTable creates a table with a title and column headers.

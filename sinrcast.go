@@ -11,6 +11,7 @@ import (
 	"sinrcast/internal/geom"
 	"sinrcast/internal/netgen"
 	"sinrcast/internal/network"
+	"sinrcast/internal/scenario"
 	"sinrcast/internal/sinr"
 )
 
@@ -49,6 +50,10 @@ type (
 	HopProgress = broadcast.HopProgress
 	// FloodPolicy is a pluggable baseline transmission policy.
 	FloodPolicy = baseline.Policy
+	// Spec is a declarative scenario: a registered topology family
+	// plus parameter overrides, parseable from the compact form
+	// "uniform:n=256,density=8" (see ParseSpec, Generate).
+	Spec = scenario.Spec
 )
 
 // DefaultPhysical returns the calibrated SINR parameters used across
@@ -66,6 +71,25 @@ type Options struct {
 	// MaxRounds optionally overrides the simulation budget.
 	MaxRounds int
 }
+
+// ParseSpec reads the compact scenario form "family" or
+// "family:name=value,...". ScenarioCatalogue lists what is available.
+func ParseSpec(s string) (Spec, error) { return scenario.Parse(s) }
+
+// Generate builds the network described by a scenario spec: defaults
+// fill omitted parameters, and the result is deterministic in
+// (spec, p, seed) — same inputs, byte-identical positions.
+func Generate(spec Spec, p Physical, seed uint64) (*Network, error) {
+	return scenario.Generate(spec, p, seed)
+}
+
+// ScenarioFamilies returns the sorted names of every registered
+// topology family.
+func ScenarioFamilies() []string { return scenario.Names() }
+
+// ScenarioCatalogue renders the registered families with their
+// parameter docs — the text behind the CLIs' -list flag.
+func ScenarioCatalogue() string { return scenario.Describe() }
 
 // NewNetwork builds a network over explicit planar positions.
 func NewNetwork(p Physical, pts []Point) (*Network, error) {

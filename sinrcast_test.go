@@ -190,3 +190,37 @@ func TestFacadeBaselines(t *testing.T) {
 		}
 	}
 }
+
+func TestFacadeScenarios(t *testing.T) {
+	fams := ScenarioFamilies()
+	if len(fams) < 11 {
+		t.Fatalf("ScenarioFamilies = %d, want >= 11", len(fams))
+	}
+	spec, err := ParseSpec("uniform:n=48,density=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := Generate(spec, DefaultPhysical(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The spec path and the legacy generator must agree exactly.
+	legacy, err := GenerateUniform(DefaultPhysical(), 48, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < net.N(); i++ {
+		if net.Space.Position(i) != legacy.Space.Position(i) {
+			t.Fatalf("station %d: spec path diverged from GenerateUniform", i)
+		}
+	}
+	if net.Meta["attempts"] < 1 {
+		t.Fatalf("generator meta missing: %v", net.Meta)
+	}
+	if _, err := ParseSpec("uniform:bogus=1"); err == nil {
+		t.Fatal("want error for unknown parameter")
+	}
+	if ScenarioCatalogue() == "" {
+		t.Fatal("empty scenario catalogue")
+	}
+}
