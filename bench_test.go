@@ -10,6 +10,7 @@ package sinrcast
 // table plus custom metrics where meaningful.
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 
@@ -118,6 +119,29 @@ func BenchmarkE11ColoringAblation(b *testing.B) {
 		if i == 0 && testing.Verbose() {
 			b.Log("\n" + tb.String())
 		}
+	}
+}
+
+// BenchmarkE13ProtocolMatrix regenerates the protocol×scenario matrix
+// at two smoke sizes (target n=16 and n=32, one trial per cell). The
+// machine-readable trajectory of this bench plus the sinr Resolve
+// benches is committed as BENCH_protocols.json (see cmd/benchjson).
+func BenchmarkE13ProtocolMatrix(b *testing.B) {
+	for _, scale := range []float64{0.5, 1} {
+		b.Run(fmt.Sprintf("scale=%g", scale), func(b *testing.B) {
+			cfg := benchCfg()
+			cfg.Trials = 1
+			cfg.Scale = scale
+			for i := 0; i < b.N; i++ {
+				tb, err := exp.E13ProtocolMatrix(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 && testing.Verbose() {
+					b.Log("\n" + tb.String())
+				}
+			}
+		})
 	}
 }
 

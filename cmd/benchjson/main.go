@@ -1,0 +1,129 @@
+// Command benchjson converts `go test -bench` output into JSON, so
+// benchmark trajectories can be committed and diffed machine-readably
+// (BENCH_protocols.json at the repository root is generated this way):
+//
+//	go test -run '^$' -bench Resolve -benchtime 1x ./internal/sinr | benchjson
+//	(go test -run '^$' -bench Resolve -benchtime 1x ./internal/sinr
+//	 go test -run '^$' -bench E13 -benchtime 1x .) | benchjson > BENCH_protocols.json
+//
+// It parses the standard bench line format — name, iteration count,
+// then value/unit metric pairs (including custom b.ReportMetric units)
+// — plus the goos/goarch/pkg/cpu context headers. Multiple package
+// blocks concatenate naturally; each benchmark records the package it
+// came from. A FAIL line in the input is a hard error (exit 1), so a
+// broken bench cannot serialize as an empty success.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the full benchmark name including sub-bench path and the
+	// -P GOMAXPROCS suffix, e.g. "BenchmarkResolve/n=1024/parallel-8".
+	Name string `json:"name"`
+	// Pkg is the package the benchmark ran in (from the "pkg:" header).
+	Pkg string `json:"pkg,omitempty"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value for every reported pair (ns/op, B/op,
+	// allocs/op, and any custom b.ReportMetric units).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the JSON document: the shared context headers plus every
+// benchmark in input order.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parseBench reads `go test -bench` text and returns the report. It
+// tolerates unknown chatter lines (PASS, ok, test logs) but rejects
+// FAIL and malformed benchmark lines.
+func parseBench(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case line == "FAIL" || strings.HasPrefix(line, "FAIL\t") || strings.HasPrefix(line, "--- FAIL"):
+			return nil, fmt.Errorf("benchjson: input contains a test failure: %q", line)
+		case strings.HasPrefix(line, "Benchmark"):
+			if len(strings.Fields(line)) == 1 {
+				// The bare-name pre-announcement go test prints before
+				// a benchmark's own output; the result line follows.
+				continue
+			}
+			b, err := parseLine(line, pkg)
+			if err != nil {
+				return nil, err
+			}
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// parseLine parses one "BenchmarkName  N  v unit  v unit ..." line.
+func parseLine(line, pkg string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Benchmark{}, fmt.Errorf("benchjson: malformed benchmark line %q", line)
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("benchjson: bad iteration count in %q: %v", line, err)
+	}
+	b := Benchmark{Name: fields[0], Pkg: pkg, Iterations: iters, Metrics: map[string]float64{}}
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("benchjson: odd metric fields in %q", line)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("benchjson: bad metric value in %q: %v", line, err)
+		}
+		b.Metrics[rest[i+1]] = v
+	}
+	return b, nil
+}
+
+func main() {
+	rep, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: sinrcast/internal/sinr
+cpu: AMD EPYC 7B13
+BenchmarkResolve/n=1k,alpha=2/serial-8         	     100	  11003613 ns/op	    2048 B/op	       3 allocs/op
+BenchmarkResolve/n=1k,alpha=2/parallel-8
+BenchmarkResolve/n=1k,alpha=2/parallel-8       	     301	   3989120 ns/op
+PASS
+ok  	sinrcast/internal/sinr	2.153s
+pkg: sinrcast
+BenchmarkE13ProtocolMatrix/scale=0.5-8         	       1	1882340115 ns/op
+PASS
+ok  	sinrcast	1.901s
+`
+
+func TestParseBench(t *testing.T) {
+	rep, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("context = %q/%q/%q", rep.Goos, rep.Goarch, rep.CPU)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkResolve/n=1k,alpha=2/serial-8" || b.Pkg != "sinrcast/internal/sinr" {
+		t.Fatalf("first bench = %q in %q", b.Name, b.Pkg)
+	}
+	if b.Iterations != 100 || b.Metrics["ns/op"] != 11003613 || b.Metrics["B/op"] != 2048 || b.Metrics["allocs/op"] != 3 {
+		t.Fatalf("first bench parsed as %+v", b)
+	}
+	// The bare pre-announcement line is skipped; the result line that
+	// follows it is kept.
+	if rep.Benchmarks[1].Iterations != 301 {
+		t.Fatalf("second bench = %+v", rep.Benchmarks[1])
+	}
+	// Package blocks switch with pkg: headers.
+	if rep.Benchmarks[2].Pkg != "sinrcast" {
+		t.Fatalf("third bench pkg = %q", rep.Benchmarks[2].Pkg)
+	}
+}
+
+func TestParseBenchRejectsFailure(t *testing.T) {
+	for _, in := range []string{
+		"--- FAIL: TestSomething (0.1s)\nFAIL\n",
+		"FAIL\tsinrcast/internal/sinr\t1.2s\n",
+		"BenchmarkBroken-8 notanumber 12 ns/op\n",
+		"BenchmarkOdd-8 10 12 ns/op trailing\n",
+	} {
+		if _, err := parseBench(strings.NewReader(in)); err == nil {
+			t.Errorf("parseBench(%q): want error, got nil", in)
+		}
+	}
+}
+
+func TestParseBenchEmptyInput(t *testing.T) {
+	rep, err := parseBench(strings.NewReader("PASS\nok \tx\t0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("benchmarks = %v, want none", rep.Benchmarks)
+	}
+}

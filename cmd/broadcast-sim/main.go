@@ -1,86 +1,100 @@
-// Command broadcast-sim runs one broadcast algorithm on one generated
+// Command broadcast-sim runs one registered protocol on one generated
 // network and reports the outcome: rounds, phases, inform-time spread
-// and energy (transmission counts). The network comes from a scenario
-// spec (see -list for the family catalogue).
+// and energy (transmission counts). Both axes are declarative specs
+// backed by registries — the protocol comes from internal/protocol
+// (-alg), the network from internal/scenario (-scenario) — and -list
+// prints both catalogues.
 //
 // Usage:
 //
-//	broadcast-sim -alg nos   -scenario uniform:n=96
-//	broadcast-sim -alg s     -scenario path:n=48
-//	broadcast-sim -alg decay -scenario expchain:n=32,ratio=0.6
+//	broadcast-sim -alg nos                -scenario uniform:n=96
+//	broadcast-sim -alg s:source=5         -scenario path:n=48
+//	broadcast-sim -alg decay              -scenario expchain:n=32,ratio=0.6
+//	broadcast-sim -alg wakeup:wakers=4    -scenario clusters:k=3,m=16
+//	broadcast-sim -alg nos:budgetmul=2    -scenario dumbbell:n=96
 //	broadcast-sim -list
+//
+// Exit codes: 2 for usage errors — malformed or unknown specs,
+// out-of-range values against declared bounds, and protocol
+// parameters that mismatch the generated network (source ≥ n); 1 for
+// runtime failures, including scenario parameters whose bounds are
+// physics-dependent and only checkable inside the builder.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
-	"sinrcast/internal/baseline"
-	"sinrcast/internal/broadcast"
+	"sinrcast/internal/protocol"
 	"sinrcast/internal/scenario"
 	"sinrcast/internal/sinr"
 	"sinrcast/internal/stats"
 )
 
+// Exit codes of the unified error path: every failure goes through
+// die, usage errors with exitUsage, runtime failures with exitRun.
+const (
+	exitRun   = 1
+	exitUsage = 2
+)
+
+// die prints one formatted error line and exits with the given code —
+// the single error exit of the command.
+func die(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "broadcast-sim: "+format+"\n", args...)
+	os.Exit(code)
+}
+
 func main() {
 	var (
-		alg    = flag.String("alg", "nos", "nos|s|decay|daum|oracle|tdma")
-		spec   = flag.String("scenario", "uniform:n=96", "scenario spec: family[:name=value,...]; see -list")
-		seed   = flag.Uint64("seed", 1, "seed for generator and protocol")
-		source = flag.Int("source", 0, "source station")
-		list   = flag.Bool("list", false, "list registered families with their parameters and exit")
+		alg  = flag.String("alg", "nos", "protocol spec: name[:param=value,...]; see -list")
+		spec = flag.String("scenario", "uniform:n=96", "scenario spec: family[:name=value,...]; see -list")
+		seed = flag.Uint64("seed", 1, "seed for generator and protocol")
+		list = flag.Bool("list", false, "list registered protocols and scenario families with their parameters and exit")
 	)
 	flag.Parse()
 
 	if *list {
+		fmt.Print("protocols (-alg)\n\n")
+		fmt.Print(protocol.Describe())
+		fmt.Print("\nscenario families (-scenario)\n\n")
 		fmt.Print(scenario.Describe())
 		return
 	}
 
+	ps, err := protocol.Parse(*alg)
+	if err != nil {
+		die(exitUsage, "%v", err)
+	}
+	if err := protocol.Validate(ps); err != nil {
+		die(exitUsage, "%v", err)
+	}
 	sp, err := scenario.Parse(*spec)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "broadcast-sim: %v\n", err)
-		os.Exit(2)
+		die(exitUsage, "%v", err)
+	}
+	if err := scenario.Validate(sp); err != nil {
+		die(exitUsage, "%v", err)
 	}
 	net, err := scenario.Generate(sp, sinr.DefaultParams(), *seed)
 	if err != nil {
-		fatal(err)
+		die(exitRun, "%v", err)
 	}
-	if *source < 0 || *source >= net.N() {
-		fmt.Fprintf(os.Stderr, "broadcast-sim: source %d outside [0,%d)\n", *source, net.N())
-		os.Exit(2)
-	}
-
-	bcfg := broadcast.DefaultConfig(net.N(), net.Space.Growth(), net.Params.Eps)
-	var res *broadcast.Result
-	switch *alg {
-	case "nos":
-		res, err = broadcast.RunNoS(net, bcfg, *seed, *source, 1)
-	case "s":
-		res, err = broadcast.RunS(net, bcfg, *seed, *source, 1)
-	case "decay":
-		res, err = baseline.RunFlood(net, baseline.NewDecay(net.N()), *seed, *source, 0)
-	case "daum":
-		res, err = baseline.RunFlood(net, baseline.NewDaumStyle(net), *seed, *source, 0)
-	case "oracle":
-		res, err = baseline.RunFlood(net, baseline.NewDensityOracle(net, 0), *seed, *source, 0)
-	case "tdma":
-		var pol *baseline.GridTDMA
-		pol, err = baseline.NewGridTDMA(net)
-		if err == nil {
-			res, err = baseline.RunFlood(net, pol, *seed, *source, 0)
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "broadcast-sim: unknown algorithm %q\n", *alg)
-		os.Exit(2)
-	}
+	res, err := protocol.Run(net, ps, *seed)
 	if err != nil {
-		fatal(err)
+		// Spec-vs-network mismatches (source ≥ n, too many wakers) are
+		// usage errors like any other bad spec.
+		var se *protocol.SpecError
+		if errors.As(err, &se) {
+			die(exitUsage, "%v", err)
+		}
+		die(exitRun, "%v", err)
 	}
 
 	d, _ := net.Diameter()
-	fmt.Printf("algorithm      %s\n", *alg)
+	fmt.Printf("algorithm      %s\n", ps.String())
 	fmt.Printf("network        %s n=%d D=%d Rs=%.3g\n", sp.String(), net.N(), d, net.Granularity())
 	fmt.Printf("all informed   %v\n", res.AllInformed)
 	fmt.Printf("rounds         %d\n", res.Rounds)
@@ -91,16 +105,13 @@ func main() {
 		res.Metrics.Transmissions, float64(res.Metrics.Transmissions)/float64(net.N()))
 	fmt.Printf("receptions     %d\n", res.Metrics.Receptions)
 
-	var times []float64
-	for _, it := range res.InformTime {
-		if it >= 0 {
-			times = append(times, float64(it))
+	if res.InformTime != nil {
+		var times []float64
+		for _, it := range res.InformTime {
+			if it >= 0 {
+				times = append(times, float64(it))
+			}
 		}
+		fmt.Printf("inform times   %s\n", stats.FormatSummary(stats.Summarize(times)))
 	}
-	fmt.Printf("inform times   %s\n", stats.FormatSummary(stats.Summarize(times)))
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "broadcast-sim: %v\n", err)
-	os.Exit(1)
 }

@@ -1,7 +1,8 @@
 // Command experiments regenerates every table of EXPERIMENTS.md: the
 // measured reproduction of each quantitative claim in the paper
-// (E1–E11) plus the registry-driven cross-family sweep (E12). Tables
-// stream to a pluggable sink: aligned text (default), CSV, or JSON.
+// (E1–E11) plus the registry-driven sweeps — the cross-family sweep
+// (E12) and the protocol×scenario matrix (E13). Tables stream to a
+// pluggable sink: aligned text (default), CSV, or JSON.
 //
 // Usage:
 //
@@ -10,7 +11,8 @@
 //	experiments -only 6            # a single experiment
 //	experiments -format json       # machine-readable output
 //	experiments -only 12 -scenario annulus:n=96
-//	experiments -list              # scenario family catalogue
+//	experiments -only 13 -alg nos:budgetmul=2 -scenario uniform:n=48
+//	experiments -list              # protocol and scenario catalogues
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"runtime"
 
 	"sinrcast/internal/exp"
+	"sinrcast/internal/protocol"
 	"sinrcast/internal/scenario"
 	"sinrcast/internal/stats"
 )
@@ -29,22 +32,50 @@ func main() {
 		seed    = flag.Uint64("seed", 2014, "experiment seed")
 		trials  = flag.Int("trials", 5, "trials per data point")
 		scale   = flag.Float64("scale", 1, "network size multiplier")
-		only    = flag.Int("only", 0, "run a single experiment (1-12), 0 = all")
+		only    = flag.Int("only", 0, "run a single experiment (1-13), 0 = all")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0),
 			"concurrent trials per data point (tables are identical for any value)")
 		format = flag.String("format", "text", "output format: text|csv|json")
 		spec   = flag.String("scenario", "",
-			"restrict E12 to one scenario spec (default: every registered family)")
-		list = flag.Bool("list", false, "list registered scenario families and exit")
+			"restrict E12/E13 to one scenario spec (default: every registered family)")
+		alg = flag.String("alg", "",
+			"restrict E13 to one protocol spec (default: every registered protocol)")
+		list = flag.Bool("list", false, "list registered protocols and scenario families and exit")
 	)
 	flag.Parse()
 
 	if *list {
+		fmt.Print("protocols (-alg)\n\n")
+		fmt.Print(protocol.Describe())
+		fmt.Print("\nscenario families (-scenario)\n\n")
 		fmt.Print(scenario.Describe())
 		return
 	}
 
-	cfg := exp.Config{Seed: *seed, Trials: *trials, Scale: *scale, Workers: *workers, Scenario: *spec}
+	// Validate restriction specs up front: a typo must fail fast with a
+	// usage exit, not abort E12/E13 after minutes of earlier experiments.
+	if *spec != "" {
+		sp, err := scenario.Parse(*spec)
+		if err == nil {
+			err = scenario.Validate(sp)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *alg != "" {
+		ps, err := protocol.Parse(*alg)
+		if err == nil {
+			err = protocol.Validate(ps)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	cfg := exp.Config{Seed: *seed, Trials: *trials, Scale: *scale, Workers: *workers, Scenario: *spec, Protocol: *alg}
 	runners := map[int]struct {
 		name string
 		run  func(exp.Config) (*stats.Table, error)
@@ -61,8 +92,9 @@ func main() {
 		10: {"E10", exp.E10ModelRobustness},
 		11: {"E11", exp.E11ColoringAblation},
 		12: {"E12", exp.E12CrossFamilySweep},
+		13: {"E13", exp.E13ProtocolMatrix},
 	}
-	ids := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	ids := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}
 	if *only != 0 {
 		if _, ok := runners[*only]; !ok {
 			fmt.Fprintf(os.Stderr, "experiments: no experiment %d\n", *only)

@@ -21,7 +21,11 @@
 //   - the §5 applications: ad hoc wake-up, consensus and leader
 //     election;
 //   - baseline algorithms (Decay, a Daum-et-al-style granularity-
-//     sensitive sweep, density-oracle flooding, GPS grid TDMA).
+//     sensitive sweep, density-oracle flooding, GPS grid TDMA);
+//   - a protocol registry mirroring the scenario registry: every
+//     algorithm above is a named, self-describing entry runnable from
+//     a declarative ProtocolSpec ("nos:budgetmul=2,source=5" — see
+//     ParseProtocol, RunProtocol, ProtocolCatalogue).
 //
 // Quick start:
 //
@@ -76,4 +80,21 @@
 // Generators that densify-and-retry until connected report the attempt
 // count and final geometry in Network.Meta. Experiment tables stream
 // through pluggable sinks (internal/stats: aligned text, CSV, JSON).
+//
+// # Protocol architecture
+//
+// The algorithm axis mirrors the scenario axis (internal/protocol):
+// every algorithm — NoS/S broadcast, the multi-source wake-up engine,
+// the four baseline floods, and the §5 applications through a result
+// adapter — registers once with typed parameter declarations and a
+// deterministic runner from (Network, ProtocolSpec, Seed). The
+// original entry points stay the canonical implementations; the
+// registry wraps them. Everything downstream is generated from the
+// registry: broadcast-sim's -alg parsing and -list catalogue, the
+// registry-wide property tests (bit-determinism across runs and
+// goroutines, budget-bounded termination, Metrics consistency), the
+// public RunProtocol, and experiment E13 — a protocol×scenario matrix
+// racing every registered protocol over every registered family at
+// matched n, whose coverage grows automatically on both axes with
+// each Register call.
 package sinrcast

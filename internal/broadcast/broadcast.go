@@ -124,6 +124,12 @@ type Result struct {
 	Metrics sim.Metrics
 }
 
+// Budget returns the round budget RunNoS, RunS and RunNoSMulti will
+// simulate at most: cfg.MaxRounds when set, else the generous
+// diameter-derived default. Exposed so callers (the protocol registry,
+// tests) can scale or bound the budget without re-deriving it.
+func Budget(cfg Config, net *network.Network) int { return defaultBudget(cfg, net) }
+
 // defaultBudget returns a generous round budget when cfg.MaxRounds is 0:
 // proportional to the (approximate) diameter plus slack phases.
 func defaultBudget(cfg Config, net *network.Network) int {

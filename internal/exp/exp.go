@@ -1,10 +1,12 @@
 // Package exp implements the experiment suite of EXPERIMENTS.md: one
 // runner per quantitative claim of the paper (E1–E9), robustness and
-// ablation studies (E10–E11), and the registry-driven cross-family
-// sweep E12 whose coverage grows with every scenario.Register call.
-// Each runner returns a stats.Table; cmd/experiments streams the
-// full-size suite to a text/CSV/JSON sink, bench_test.go runs reduced
-// sizes.
+// ablation studies (E10–E11), and the registry-driven sweeps — the
+// cross-family broadcast sweep E12 (coverage grows with every
+// scenario.Register call) and the protocol×scenario matrix E13
+// (coverage grows with every scenario.Register *and* protocol.Register
+// call). All topologies come from scenario.Generate specs; each runner
+// returns a stats.Table; cmd/experiments streams the full-size suite
+// to a text/CSV/JSON sink, bench_test.go runs reduced sizes.
 package exp
 
 import (
@@ -17,8 +19,8 @@ import (
 	"sinrcast/internal/baseline"
 	"sinrcast/internal/broadcast"
 	"sinrcast/internal/coloring"
-	"sinrcast/internal/netgen"
 	"sinrcast/internal/network"
+	"sinrcast/internal/scenario"
 	"sinrcast/internal/sinr"
 	"sinrcast/internal/stats"
 )
@@ -37,10 +39,14 @@ type Config struct {
 	// are bit-identical for every value: trial randomness is derived
 	// from (Seed, experiment, data point, trial) alone (see trials.go).
 	Workers int
-	// Scenario optionally restricts E12CrossFamilySweep to one parsed
-	// scenario spec (e.g. "annulus:n=96"). Empty sweeps every
-	// registered family.
+	// Scenario optionally restricts E12CrossFamilySweep and
+	// E13ProtocolMatrix to one parsed scenario spec (e.g.
+	// "annulus:n=96"). Empty sweeps every registered family.
 	Scenario string
+	// Protocol optionally restricts E13ProtocolMatrix to one parsed
+	// protocol spec (e.g. "nos:budgetmul=2"). Empty sweeps every
+	// registered protocol.
+	Protocol string
 }
 
 // DefaultConfig returns the full-size configuration.
@@ -75,6 +81,15 @@ func lg2(n int) float64 {
 }
 
 func physParams() sinr.Params { return sinr.DefaultParams() }
+
+// genNet builds a registered scenario family with explicit parameter
+// overrides — exactly the call the former netgen wrappers made, so
+// every E1–E11 network is byte-identical to the pre-registry suite.
+// The scenario registry is the single topology path of the experiment
+// suite; internal/netgen survives only for external-style callers.
+func genNet(family string, seed uint64, params map[string]float64) (*network.Network, error) {
+	return scenario.Generate(scenario.Spec{Family: family, Params: params}, physParams(), seed)
+}
 
 func bcastCfg(net *network.Network) broadcast.Config {
 	return broadcast.DefaultConfig(net.N(), net.Space.Growth(), net.Params.Eps)
@@ -113,7 +128,7 @@ func E1NoSBroadcastVsD(cfg Config) (*stats.Table, error) {
 		fmt.Sprintf("E1 (Theorem 1): NoSBroadcast rounds vs D, path networks, n=%d", n),
 		"D", "median-rounds", "rounds/(D·lg²n)", "fails")
 	for pi, frac := range []float64{0.15, 0.3, 0.5, 0.95} {
-		net, err := netgen.Path(netgen.Config{Params: physParams(), Seed: cfg.Seed}, n, frac)
+		net, err := genNet("path", cfg.Seed, map[string]float64{"n": float64(n), "frac": frac})
 		if err != nil {
 			return nil, err
 		}
@@ -139,7 +154,7 @@ func E2SBroadcastScaling(cfg Config) (*stats.Table, error) {
 		fmt.Sprintf("E2 (Theorem 2): SBroadcast rounds, paths n=%d then uniform n sweep", n),
 		"network", "D", "n", "median-rounds", "rounds/(D·lgn+lg²n)", "fails")
 	for pi, frac := range []float64{0.15, 0.3, 0.5, 0.95} {
-		net, err := netgen.Path(netgen.Config{Params: physParams(), Seed: cfg.Seed}, n, frac)
+		net, err := genNet("path", cfg.Seed, map[string]float64{"n": float64(n), "frac": frac})
 		if err != nil {
 			return nil, err
 		}
@@ -154,7 +169,7 @@ func E2SBroadcastScaling(cfg Config) (*stats.Table, error) {
 		t.AddRow("path", d, n, med, norm, fails)
 	}
 	for pi, nn := range []int{cfg.scaled(48, 16), cfg.scaled(96, 32), cfg.scaled(192, 64)} {
-		net, err := netgen.Uniform(netgen.Config{Params: physParams(), Seed: cfg.Seed + uint64(nn)}, nn, 10)
+		net, err := genNet("uniform", cfg.Seed+uint64(nn), map[string]float64{"n": float64(nn), "density": 10})
 		if err != nil {
 			return nil, err
 		}
@@ -173,23 +188,27 @@ func E2SBroadcastScaling(cfg Config) (*stats.Table, error) {
 
 // familyNets builds the invariant-test network families.
 func familyNets(cfg Config) (map[string]*network.Network, []string, error) {
-	gen := netgen.Config{Params: physParams(), Seed: cfg.Seed}
 	nets := map[string]*network.Network{}
 	order := []string{"uniform", "dense", "clusters", "path", "expchain"}
 	var err error
-	if nets["uniform"], err = netgen.Uniform(gen, cfg.scaled(128, 32), 8); err != nil {
+	if nets["uniform"], err = genNet("uniform", cfg.Seed, map[string]float64{
+		"n": float64(cfg.scaled(128, 32)), "density": 8}); err != nil {
 		return nil, nil, err
 	}
-	if nets["dense"], err = netgen.Uniform(gen, cfg.scaled(256, 48), 32); err != nil {
+	if nets["dense"], err = genNet("uniform", cfg.Seed, map[string]float64{
+		"n": float64(cfg.scaled(256, 48)), "density": 32}); err != nil {
 		return nil, nil, err
 	}
-	if nets["clusters"], err = netgen.Clusters(gen, 4, cfg.scaled(24, 8), 0.08, 0.6); err != nil {
+	if nets["clusters"], err = genNet("clusters", cfg.Seed, map[string]float64{
+		"k": 4, "m": float64(cfg.scaled(24, 8)), "radius": 0.08, "gap": 0.6}); err != nil {
 		return nil, nil, err
 	}
-	if nets["path"], err = netgen.Path(gen, cfg.scaled(48, 16), 0.9); err != nil {
+	if nets["path"], err = genNet("path", cfg.Seed, map[string]float64{
+		"n": float64(cfg.scaled(48, 16)), "frac": 0.9}); err != nil {
 		return nil, nil, err
 	}
-	if nets["expchain"], err = netgen.ExponentialChain(gen, cfg.scaled(64, 16), 0.5, 0.75); err != nil {
+	if nets["expchain"], err = genNet("expchain", cfg.Seed, map[string]float64{
+		"n": float64(cfg.scaled(64, 16)), "first": 0.5, "ratio": 0.75}); err != nil {
 		return nil, nil, err
 	}
 	return nets, order, nil
@@ -288,7 +307,8 @@ func E6GeometryImpact(cfg Config) (*stats.Table, error) {
 		fmt.Sprintf("E6 (§1.3): rounds vs granularity Rs, clustered paths, n=%d, D fixed", n),
 		"log2(Rs)", "sinrcast-NoS", "sinrcast-S", "daum-style", "daum-levels")
 	for ri, ratio := range []float64{0.9, 0.75, 0.6, 0.45} {
-		net, err := netgen.ClusteredPath(netgen.Config{Params: physParams(), Seed: cfg.Seed}, pathLen, clusterSize, ratio)
+		net, err := genNet("clusteredpath", cfg.Seed, map[string]float64{
+			"pathlen": float64(pathLen), "cluster": float64(clusterSize), "ratio": ratio})
 		if err != nil {
 			return nil, err
 		}
@@ -321,23 +341,23 @@ func E6GeometryImpact(cfg Config) (*stats.Table, error) {
 
 // E7BaselineComparison races all algorithms on three network families.
 func E7BaselineComparison(cfg Config) (*stats.Table, error) {
-	gen := netgen.Config{Params: physParams(), Seed: cfg.Seed}
 	type fam struct {
 		name string
 		net  *network.Network
 	}
 	var fams []fam
-	uni, err := netgen.Uniform(gen, cfg.scaled(96, 32), 10)
+	uni, err := genNet("uniform", cfg.Seed, map[string]float64{"n": float64(cfg.scaled(96, 32)), "density": 10})
 	if err != nil {
 		return nil, err
 	}
 	fams = append(fams, fam{"uniform", uni})
-	clu, err := netgen.Clusters(gen, 4, cfg.scaled(20, 6), 0.08, 0.6)
+	clu, err := genNet("clusters", cfg.Seed, map[string]float64{
+		"k": 4, "m": float64(cfg.scaled(20, 6)), "radius": 0.08, "gap": 0.6})
 	if err != nil {
 		return nil, err
 	}
 	fams = append(fams, fam{"clusters", clu})
-	cor, err := netgen.RandomWalkCorridor(gen, cfg.scaled(64, 24), 0.5)
+	cor, err := genNet("corridor", cfg.Seed, map[string]float64{"n": float64(cfg.scaled(64, 24)), "step": 0.5})
 	if err != nil {
 		return nil, err
 	}
@@ -392,8 +412,7 @@ func E7BaselineComparison(cfg Config) (*stats.Table, error) {
 // E8Applications exercises the §5 protocols and reports measured times
 // against their bounds.
 func E8Applications(cfg Config) (*stats.Table, error) {
-	gen := netgen.Config{Params: physParams(), Seed: cfg.Seed}
-	net, err := netgen.Uniform(gen, cfg.scaled(48, 24), 8)
+	net, err := genNet("uniform", cfg.Seed, map[string]float64{"n": float64(cfg.scaled(48, 24)), "density": 8})
 	if err != nil {
 		return nil, err
 	}
@@ -444,8 +463,7 @@ func E8Applications(cfg Config) (*stats.Table, error) {
 // E9SuccessProbability estimates the whp claims: fraction of independent
 // runs that complete within the default budget.
 func E9SuccessProbability(cfg Config) (*stats.Table, error) {
-	gen := netgen.Config{Params: physParams(), Seed: cfg.Seed}
-	net, err := netgen.Uniform(gen, cfg.scaled(64, 24), 8)
+	net, err := genNet("uniform", cfg.Seed, map[string]float64{"n": float64(cfg.scaled(64, 24)), "density": 8})
 	if err != nil {
 		return nil, err
 	}
@@ -499,6 +517,7 @@ func All(cfg Config) ([]*stats.Table, error) {
 		E10ModelRobustness,
 		E11ColoringAblation,
 		E12CrossFamilySweep,
+		E13ProtocolMatrix,
 	}
 	var out []*stats.Table
 	for i, r := range runners {

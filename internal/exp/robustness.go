@@ -5,7 +5,6 @@ import (
 
 	"sinrcast/internal/broadcast"
 	"sinrcast/internal/coloring"
-	"sinrcast/internal/netgen"
 	"sinrcast/internal/network"
 	"sinrcast/internal/sim"
 	"sinrcast/internal/sinr"
@@ -19,8 +18,7 @@ import (
 // measures how sensitive the paper's guarantees are to the channel
 // abstraction.
 func E10ModelRobustness(cfg Config) (*stats.Table, error) {
-	gen := netgen.Config{Params: physParams(), Seed: cfg.Seed}
-	net, err := netgen.Uniform(gen, cfg.scaled(96, 32), 8)
+	net, err := genNet("uniform", cfg.Seed, map[string]float64{"n": float64(cfg.scaled(96, 32)), "density": 8})
 	if err != nil {
 		return nil, err
 	}
@@ -64,8 +62,7 @@ func E10ModelRobustness(cfg Config) (*stats.Table, error) {
 // Lemma 2 invariants on the dense-uniform family — the setting that
 // stresses both mechanisms.
 func E11ColoringAblation(cfg Config) (*stats.Table, error) {
-	gen := netgen.Config{Params: physParams(), Seed: cfg.Seed}
-	net, err := netgen.Uniform(gen, cfg.scaled(256, 48), 32)
+	net, err := genNet("uniform", cfg.Seed, map[string]float64{"n": float64(cfg.scaled(256, 48)), "density": 32})
 	if err != nil {
 		return nil, err
 	}

@@ -21,17 +21,9 @@ import (
 // single explicit spec.
 func E12CrossFamilySweep(cfg Config) (*stats.Table, error) {
 	n := cfg.scaled(64, 24)
-	var specs []scenario.Spec
-	if cfg.Scenario != "" {
-		sp, err := scenario.Parse(cfg.Scenario)
-		if err != nil {
-			return nil, fmt.Errorf("E12: %w", err)
-		}
-		specs = []scenario.Spec{sp}
-	} else {
-		for _, f := range scenario.Families() {
-			specs = append(specs, f.SpecForN(n))
-		}
+	specs, err := cfg.scenarioSpecs(n)
+	if err != nil {
+		return nil, fmt.Errorf("E12: %w", err)
 	}
 	t := stats.NewTable(
 		fmt.Sprintf("E12: cross-family sweep over %d registered scenarios, target n=%d", len(specs), n),
@@ -69,6 +61,24 @@ func E12CrossFamilySweep(cfg Config) (*stats.Table, error) {
 			fmt.Sprintf("%.1f", densitySpread(net)), nos, s, dec)
 	}
 	return t, nil
+}
+
+// scenarioSpecs returns the scenario axis of the registry sweeps (E12,
+// E13): the single parsed Config.Scenario spec when set, else every
+// registered family sized to ≈n stations.
+func (c Config) scenarioSpecs(n int) ([]scenario.Spec, error) {
+	if c.Scenario != "" {
+		sp, err := scenario.Parse(c.Scenario)
+		if err != nil {
+			return nil, err
+		}
+		return []scenario.Spec{sp}, nil
+	}
+	var specs []scenario.Spec
+	for _, f := range scenario.Families() {
+		specs = append(specs, f.SpecForN(n))
+	}
+	return specs, nil
 }
 
 // fnvHash maps a family name to a stable data-point key; the low two

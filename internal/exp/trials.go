@@ -30,9 +30,10 @@ func (c Config) workers() int {
 }
 
 // trialSeed derives the RNG seed of one trial from its experiment
-// coordinates. expID is the experiment number (1–11); point enumerates
+// coordinates. expID is the experiment number (1–13); point enumerates
 // the data points of the experiment (and, where several algorithms
-// share a data point, the algorithm slot — see each runner).
+// share a data point, the algorithm slot — see each runner; the
+// registry sweeps E12/E13 key points by family/protocol name hashes).
 func (c Config) trialSeed(expID, point uint64, trial int) uint64 {
 	return rng.Derive(c.Seed, expID, point, uint64(trial))
 }

@@ -1,0 +1,194 @@
+// Package protocol is the registry of communication algorithms: named,
+// self-describing protocol runners that execute deterministically from
+// a declarative Spec (protocol name + parameter map, parseable from the
+// compact string form "nos:budgetmul=2,source=5").
+//
+// It mirrors internal/scenario, the registry of topology families: a
+// protocol declares its typed parameters (name, default, range, doc),
+// so command-line tools list the full catalogue with -list and
+// experiments can sweep *every* registered protocol without naming any
+// of them (exp.E13ProtocolMatrix races every protocol over every
+// scenario family). The two registries are the two axes of the paper's
+// central comparison — algorithms against geometries.
+//
+// Every runner returns a *broadcast.Result: the paper's broadcast
+// algorithms and the baseline floods natively, the §5 applications
+// (wake-up, consensus, leader election, alert) through a result adapter
+// that maps "protocol completed correctly" onto Result.AllInformed.
+// The original entry points (broadcast.RunNoS, baseline.RunFlood,
+// apps/*.Run) remain the primary implementations; the registry wraps
+// them without changing their behavior.
+//
+// Registering a protocol makes it visible everywhere at once: the
+// broadcast-sim CLI (-alg/-list), the protocol×scenario matrix
+// experiment E13, the registry-wide property tests, and the public
+// sinrcast.RunProtocol.
+package protocol
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"sinrcast/internal/broadcast"
+	"sinrcast/internal/network"
+)
+
+// Param describes one parameter of a protocol.
+type Param struct {
+	// Name is the key used in Spec.Params and the compact string form.
+	Name string
+	// Doc is a one-line description shown by -list.
+	Doc string
+	// Default is the value used when a Spec omits the parameter.
+	Default float64
+	// Min and Max bound the accepted values (inclusive). Runners may
+	// apply stricter, network-dependent checks (e.g. source < n) that
+	// static bounds cannot express.
+	Min, Max float64
+	// Int marks integer-valued parameters (station indices etc.).
+	Int bool
+}
+
+// Build carries the resolved inputs of one execution: the seed and the
+// protocol's parameter values with defaults filled in and ranges
+// checked.
+type Build struct {
+	// Seed drives all protocol randomness.
+	Seed uint64
+
+	params map[string]float64
+}
+
+// Float returns the resolved value of a declared parameter. It panics
+// on undeclared names: that is a bug in the protocol definition, not a
+// user error (user input is validated before Build is constructed).
+func (b Build) Float(name string) float64 {
+	v, ok := b.params[name]
+	if !ok {
+		panic(fmt.Sprintf("protocol: runner read undeclared parameter %q", name))
+	}
+	return v
+}
+
+// Int returns a declared integer parameter.
+func (b Build) Int(name string) int { return int(b.Float(name)) }
+
+// Protocol is one registered algorithm.
+type Protocol struct {
+	// Name identifies the protocol in Spec strings; lowercase.
+	Name string
+	// Doc is a one-line description shown by -list.
+	Doc string
+	// Params declares the accepted parameters in display order.
+	Params []Param
+	// Run executes the protocol on the network. It must be
+	// deterministic in (net, Build.Seed, params): same inputs, same
+	// Result, regardless of goroutine or engine worker count.
+	Run func(net *network.Network, b Build) (*broadcast.Result, error)
+}
+
+// param looks up a declared parameter by name.
+func (p *Protocol) param(name string) (Param, bool) {
+	for _, q := range p.Params {
+		if q.Name == name {
+			return q, true
+		}
+	}
+	return Param{}, false
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]*Protocol{}
+)
+
+// Register adds a protocol to the registry. It panics on an empty or
+// duplicate name, a missing Run function, or a Param whose default
+// violates its own bounds — all programming errors caught at init.
+func Register(p Protocol) {
+	if p.Name == "" {
+		panic("protocol: Register with empty protocol name")
+	}
+	if p.Run == nil {
+		panic(fmt.Sprintf("protocol: %q has no Run function", p.Name))
+	}
+	seen := map[string]bool{}
+	for _, q := range p.Params {
+		if q.Name == "" || seen[q.Name] {
+			panic(fmt.Sprintf("protocol: %q declares empty or duplicate parameter %q", p.Name, q.Name))
+		}
+		seen[q.Name] = true
+		if q.Default < q.Min || q.Default > q.Max {
+			panic(fmt.Sprintf("protocol: %q parameter %q default %v outside [%v, %v]",
+				p.Name, q.Name, q.Default, q.Min, q.Max))
+		}
+		if q.Int && q.Default != math.Trunc(q.Default) {
+			panic(fmt.Sprintf("protocol: %q integer parameter %q has fractional default %v",
+				p.Name, q.Name, q.Default))
+		}
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[p.Name]; dup {
+		panic(fmt.Sprintf("protocol: %q registered twice", p.Name))
+	}
+	cp := p
+	registry[p.Name] = &cp
+}
+
+// Lookup returns the named protocol.
+func Lookup(name string) (*Protocol, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	p, ok := registry[name]
+	return p, ok
+}
+
+// Protocols returns every registered protocol sorted by name.
+func Protocols() []*Protocol {
+	regMu.RLock()
+	out := make([]*Protocol, 0, len(registry))
+	for _, p := range registry {
+		out = append(out, p)
+	}
+	regMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns the sorted names of all registered protocols.
+func Names() []string {
+	ps := Protocols()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// Describe renders the catalogue of registered protocols with their
+// parameter docs — the text behind the CLI's -list flag.
+func Describe() string {
+	var sb strings.Builder
+	for _, p := range Protocols() {
+		fmt.Fprintf(&sb, "%s — %s\n", p.Name, p.Doc)
+		width := 0
+		for _, q := range p.Params {
+			if len(q.Name) > width {
+				width = len(q.Name)
+			}
+		}
+		for _, q := range p.Params {
+			def := formatValue(q.Default)
+			kind := ""
+			if q.Int {
+				kind = ", int"
+			}
+			fmt.Fprintf(&sb, "    %-*s  %s (default %s%s)\n", width, q.Name, q.Doc, def, kind)
+		}
+	}
+	return sb.String()
+}

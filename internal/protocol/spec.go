@@ -1,0 +1,187 @@
+package protocol
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sinrcast/internal/broadcast"
+	"sinrcast/internal/network"
+)
+
+// maxIntParam caps integer parameters (station indices, waker counts,
+// message-domain bounds, …): large enough for any real run, small
+// enough that int conversion stays well-defined.
+const maxIntParam = 1e9
+
+// Spec is a declarative protocol selection: a registered protocol name
+// plus parameter overrides. The zero value of Params means "all
+// defaults". A Spec, a network, and a seed fully determine the
+// execution (see Run).
+type Spec struct {
+	Name   string
+	Params map[string]float64
+}
+
+// String renders the canonical compact form "name:k=v,k=v" with
+// parameters sorted by name; Parse(s.String()) reproduces s exactly.
+func (s Spec) String() string {
+	if len(s.Params) == 0 {
+		return s.Name
+	}
+	keys := make([]string, 0, len(s.Params))
+	for k := range s.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString(s.Name)
+	for i, k := range keys {
+		if i == 0 {
+			sb.WriteByte(':')
+		} else {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(formatValue(s.Params[k]))
+	}
+	return sb.String()
+}
+
+// formatValue renders a parameter value in the shortest form that
+// round-trips through strconv.ParseFloat.
+func formatValue(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Parse reads the compact spec form "name" or
+// "name:param=value,param=value". The protocol must be registered and
+// every parameter declared by it; values must parse as numbers. (Range
+// and integrality are checked by Run, so specs built programmatically
+// get the same validation.)
+func Parse(s string) (Spec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Spec{}, fmt.Errorf("protocol: empty spec (want \"name\" or \"name:param=value,...\")")
+	}
+	name, rest, hasParams := strings.Cut(s, ":")
+	p, ok := Lookup(name)
+	if !ok {
+		return Spec{}, fmt.Errorf("protocol: unknown protocol %q (known: %s)", name, strings.Join(Names(), ", "))
+	}
+	spec := Spec{Name: name}
+	if !hasParams {
+		return spec, nil
+	}
+	if strings.TrimSpace(rest) == "" {
+		return Spec{}, fmt.Errorf("protocol: %s: empty parameter list after ':'", name)
+	}
+	spec.Params = map[string]float64{}
+	for _, pair := range strings.Split(rest, ",") {
+		key, val, ok := strings.Cut(pair, "=")
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		if !ok || key == "" || val == "" {
+			return Spec{}, fmt.Errorf("protocol: %s: malformed parameter %q (want param=value)", name, pair)
+		}
+		q, declared := p.param(key)
+		if !declared {
+			return Spec{}, fmt.Errorf("protocol: %s has no parameter %q (has: %s)",
+				name, key, strings.Join(paramNames(p), ", "))
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return Spec{}, fmt.Errorf("protocol: %s: parameter %s=%q is not a number", name, q.Name, val)
+		}
+		if _, dup := spec.Params[key]; dup {
+			return Spec{}, fmt.Errorf("protocol: %s: parameter %q given twice", name, key)
+		}
+		spec.Params[key] = v
+	}
+	return spec, nil
+}
+
+func paramNames(p *Protocol) []string {
+	out := make([]string, len(p.Params))
+	for i, q := range p.Params {
+		out[i] = q.Name
+	}
+	return out
+}
+
+// resolve fills defaults and checks ranges, integrality and the size
+// limit for every override, returning the full parameter map.
+func resolve(p *Protocol, spec Spec) (map[string]float64, error) {
+	resolved := make(map[string]float64, len(p.Params))
+	for _, q := range p.Params {
+		resolved[q.Name] = q.Default
+	}
+	for name, v := range spec.Params {
+		q, declared := p.param(name)
+		if !declared {
+			return nil, fmt.Errorf("protocol: %s has no parameter %q (has: %s)",
+				p.Name, name, strings.Join(paramNames(p), ", "))
+		}
+		if v < q.Min || v > q.Max || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("protocol: %s: parameter %s=%s outside [%s, %s]",
+				p.Name, q.Name, formatValue(v), formatValue(q.Min), formatValue(q.Max))
+		}
+		if q.Int {
+			if v != math.Trunc(v) {
+				return nil, fmt.Errorf("protocol: %s: parameter %s=%s must be an integer",
+					p.Name, q.Name, formatValue(v))
+			}
+			// Bound values before int conversion: huge values would
+			// overflow int, not configure a run.
+			if math.Abs(v) > maxIntParam {
+				return nil, fmt.Errorf("protocol: %s: parameter %s=%s exceeds the size limit %s",
+					p.Name, q.Name, formatValue(v), formatValue(maxIntParam))
+			}
+		}
+		resolved[name] = v
+	}
+	return resolved, nil
+}
+
+// SpecError marks a spec-vs-network mismatch: the parameters are
+// statically valid (Validate passes) but disagree with the concrete
+// network — a source index or waker count beyond n. CLIs classify it
+// as a usage error (exit 2), not a runtime failure.
+type SpecError struct{ msg string }
+
+func (e *SpecError) Error() string { return e.msg }
+
+// specErrorf builds a SpecError; used by runners for their
+// network-dependent parameter checks.
+func specErrorf(format string, args ...any) error {
+	return &SpecError{msg: fmt.Sprintf(format, args...)}
+}
+
+// Validate checks a spec against the registry without running it:
+// the protocol must exist and every override must be declared,
+// in range, and integral where required. CLIs use it to classify
+// bad specs as usage errors before any network is built.
+func Validate(spec Spec) error {
+	p, ok := Lookup(spec.Name)
+	if !ok {
+		return fmt.Errorf("protocol: unknown protocol %q (known: %s)", spec.Name, strings.Join(Names(), ", "))
+	}
+	_, err := resolve(p, spec)
+	return err
+}
+
+// Run executes the protocol described by spec on the network under the
+// given seed. Defaults fill omitted parameters; unknown names,
+// out-of-range values, and fractional values for integer parameters
+// are rejected. The execution is deterministic in (net, spec, seed).
+func Run(net *network.Network, spec Spec, seed uint64) (*broadcast.Result, error) {
+	p, ok := Lookup(spec.Name)
+	if !ok {
+		return nil, fmt.Errorf("protocol: unknown protocol %q (known: %s)", spec.Name, strings.Join(Names(), ", "))
+	}
+	resolved, err := resolve(p, spec)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(net, Build{Seed: seed, params: resolved})
+}

@@ -109,15 +109,9 @@ func paramNames(f *Family) []string {
 	return out
 }
 
-// Generate builds the network described by spec under the given
-// physical parameters and seed. Defaults fill omitted parameters;
-// unknown names, out-of-range values, and fractional values for
-// integer parameters are rejected.
-func Generate(spec Spec, phys sinr.Params, seed uint64) (*network.Network, error) {
-	f, ok := Lookup(spec.Family)
-	if !ok {
-		return nil, fmt.Errorf("scenario: unknown family %q (known: %s)", spec.Family, strings.Join(Names(), ", "))
-	}
+// resolve fills defaults and checks ranges, integrality and the size
+// limit for every override, returning the full parameter map.
+func resolve(f *Family, spec Spec) (map[string]float64, error) {
 	resolved := make(map[string]float64, len(f.Params))
 	for _, p := range f.Params {
 		resolved[p.Name] = p.Default
@@ -145,6 +139,36 @@ func Generate(spec Spec, phys sinr.Params, seed uint64) (*network.Network, error
 			}
 		}
 		resolved[name] = v
+	}
+	return resolved, nil
+}
+
+// Validate checks a spec against the registry without building it:
+// the family must exist and every override must be declared, in
+// range, and integral where required. (Builders may still reject
+// physics-dependent combinations at Generate time.) CLIs use it to
+// classify bad specs as usage errors.
+func Validate(spec Spec) error {
+	f, ok := Lookup(spec.Family)
+	if !ok {
+		return fmt.Errorf("scenario: unknown family %q (known: %s)", spec.Family, strings.Join(Names(), ", "))
+	}
+	_, err := resolve(f, spec)
+	return err
+}
+
+// Generate builds the network described by spec under the given
+// physical parameters and seed. Defaults fill omitted parameters;
+// unknown names, out-of-range values, and fractional values for
+// integer parameters are rejected.
+func Generate(spec Spec, phys sinr.Params, seed uint64) (*network.Network, error) {
+	f, ok := Lookup(spec.Family)
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown family %q (known: %s)", spec.Family, strings.Join(Names(), ", "))
+	}
+	resolved, err := resolve(f, spec)
+	if err != nil {
+		return nil, err
 	}
 	return f.Build(Build{Phys: phys, Seed: seed, params: resolved})
 }

@@ -11,6 +11,7 @@ import (
 	"sinrcast/internal/geom"
 	"sinrcast/internal/netgen"
 	"sinrcast/internal/network"
+	"sinrcast/internal/protocol"
 	"sinrcast/internal/scenario"
 	"sinrcast/internal/sinr"
 )
@@ -54,6 +55,10 @@ type (
 	// plus parameter overrides, parseable from the compact form
 	// "uniform:n=256,density=8" (see ParseSpec, Generate).
 	Spec = scenario.Spec
+	// ProtocolSpec is a declarative algorithm selection: a registered
+	// protocol plus parameter overrides, parseable from the compact
+	// form "nos:budgetmul=2,source=5" (see ParseProtocol, RunProtocol).
+	ProtocolSpec = protocol.Spec
 )
 
 // DefaultPhysical returns the calibrated SINR parameters used across
@@ -90,6 +95,27 @@ func ScenarioFamilies() []string { return scenario.Names() }
 // ScenarioCatalogue renders the registered families with their
 // parameter docs — the text behind the CLIs' -list flag.
 func ScenarioCatalogue() string { return scenario.Describe() }
+
+// ParseProtocol reads the compact protocol form "name" or
+// "name:param=value,...". ProtocolCatalogue lists what is available.
+func ParseProtocol(s string) (ProtocolSpec, error) { return protocol.Parse(s) }
+
+// RunProtocol executes a registered protocol on the network: defaults
+// fill omitted parameters, and the execution is deterministic in
+// (net, spec, seed). The paper's broadcast algorithms and the baseline
+// floods report broadcast completion; the §5 applications report their
+// own completion measure with AllInformed meaning "completed
+// correctly".
+func RunProtocol(net *Network, spec ProtocolSpec, seed uint64) (*BroadcastResult, error) {
+	return protocol.Run(net, spec, seed)
+}
+
+// ProtocolNames returns the sorted names of every registered protocol.
+func ProtocolNames() []string { return protocol.Names() }
+
+// ProtocolCatalogue renders the registered protocols with their
+// parameter docs — the protocol half of the CLIs' -list output.
+func ProtocolCatalogue() string { return protocol.Describe() }
 
 // NewNetwork builds a network over explicit planar positions.
 func NewNetwork(p Physical, pts []Point) (*Network, error) {

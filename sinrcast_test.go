@@ -224,3 +224,40 @@ func TestFacadeScenarios(t *testing.T) {
 		t.Fatal("empty scenario catalogue")
 	}
 }
+
+func TestFacadeProtocols(t *testing.T) {
+	names := ProtocolNames()
+	if len(names) < 11 {
+		t.Fatalf("ProtocolNames = %d, want >= 11", len(names))
+	}
+	net, err := GenerateUniform(DefaultPhysical(), 32, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ParseProtocol("nos:source=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunProtocol(net, spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllInformed {
+		t.Fatalf("nos incomplete after %d rounds", res.Rounds)
+	}
+	// The registry path and the facade helper must agree exactly.
+	direct, err := Broadcast(net, Options{Seed: 7, Source: 3, Payload: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != direct.Rounds || res.Metrics != direct.Metrics {
+		t.Fatalf("registry run diverged from Broadcast: %d/%v vs %d/%v",
+			res.Rounds, res.Metrics, direct.Rounds, direct.Metrics)
+	}
+	if _, err := ParseProtocol("nos:bogus=1"); err == nil {
+		t.Fatal("want error for unknown parameter")
+	}
+	if ProtocolCatalogue() == "" {
+		t.Fatal("empty protocol catalogue")
+	}
+}
