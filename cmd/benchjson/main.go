@@ -2,24 +2,48 @@
 // benchmark trajectories can be committed and diffed machine-readably
 // (BENCH_protocols.json at the repository root is generated this way):
 //
-//	go test -run '^$' -bench Resolve -benchtime 1x ./internal/sinr | benchjson
-//	(go test -run '^$' -bench Resolve -benchtime 1x ./internal/sinr
-//	 go test -run '^$' -bench E13 -benchtime 1x .) | benchjson > BENCH_protocols.json
+//	go test -run '^$' -bench Resolve -benchtime 3x -benchmem ./internal/sinr |
+//	  benchjson -benchtime 3x
+//	(go test -run '^$' -bench Resolve -benchtime 3x -benchmem ./internal/sinr
+//	 go test -run '^$' -bench E13 -benchtime 2x -benchmem .) |
+//	  benchjson -benchtime 3x > BENCH_protocols.json
 //
 // It parses the standard bench line format — name, iteration count,
-// then value/unit metric pairs (including custom b.ReportMetric units)
-// — plus the goos/goarch/pkg/cpu context headers. Multiple package
-// blocks concatenate naturally; each benchmark records the package it
-// came from. A FAIL line in the input is a hard error (exit 1), so a
-// broken bench cannot serialize as an empty success.
+// then value/unit metric pairs (B/op and allocs/op under -benchmem,
+// plus custom b.ReportMetric units) — and the goos/goarch/pkg/cpu
+// context headers. Multiple package blocks concatenate naturally; each
+// benchmark records the package it came from. A FAIL line in the input
+// is a hard error (exit 1), so a broken bench cannot serialize as an
+// empty success. The -benchtime flag records the effective -benchtime
+// the benches ran with so a committed baseline documents its own
+// measurement budget.
+//
+// Baselines in which every entry ran exactly one iteration are
+// rejected: single-iteration timings are startup noise, not a
+// trajectory (pass a larger -benchtime to go test). A lone 1-iteration
+// entry among multi-iteration ones is fine — only the all-1x case is a
+// configuration error.
+//
+// Regression-gate mode compares fresh output against a committed
+// baseline instead of emitting JSON:
+//
+//	go test -run '^$' -bench 'Resolve$/n=16384' -benchtime 3x ./internal/sinr |
+//	  benchjson -compare BENCH_protocols.json -filter 'BenchmarkResolve/n=16384' \
+//	            -metric ns/round -tolerance 0.15
+//
+// It exits 1 if any matching benchmark's metric exceeds the baseline by
+// more than the tolerance, or if nothing matched (a silent no-op gate
+// would be worse than none).
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -41,9 +65,12 @@ type Benchmark struct {
 // Report is the JSON document: the shared context headers plus every
 // benchmark in input order.
 type Report struct {
-	Goos       string      `json:"goos,omitempty"`
-	Goarch     string      `json:"goarch,omitempty"`
-	CPU        string      `json:"cpu,omitempty"`
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Benchtime documents the -benchtime the benches ran with (from the
+	// -benchtime flag; go test does not echo it into its output).
+	Benchtime  string      `json:"benchtime,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
@@ -114,10 +141,105 @@ func parseLine(line, pkg string) (Benchmark, error) {
 	return b, nil
 }
 
+// allSingleIteration reports whether every benchmark ran exactly once.
+func allSingleIteration(rep *Report) bool {
+	if len(rep.Benchmarks) == 0 {
+		return false
+	}
+	for _, b := range rep.Benchmarks {
+		if b.Iterations != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// compare gates fresh results against a baseline report: every fresh
+// benchmark whose name matches filter and whose metric exists in both
+// reports must stay within (1+tolerance)× the baseline value. It
+// returns the number of comparisons made and the regressions found.
+func compare(fresh, base *Report, filter *regexp.Regexp, metric string, tolerance float64, w io.Writer) (checked int, regressions int) {
+	baseline := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Name] = b
+	}
+	for _, b := range fresh.Benchmarks {
+		if filter != nil && !filter.MatchString(b.Name) {
+			continue
+		}
+		old, ok := baseline[b.Name]
+		if !ok {
+			continue
+		}
+		newV, okNew := b.Metrics[metric]
+		oldV, okOld := old.Metrics[metric]
+		if !okNew || !okOld || oldV <= 0 {
+			continue
+		}
+		checked++
+		ratio := newV / oldV
+		status := "ok"
+		if ratio > 1+tolerance {
+			status = "REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-10s %s: %s %.0f -> %.0f (%.2fx, tolerance %.0f%%)\n",
+			status, b.Name, metric, oldV, newV, ratio, tolerance*100)
+	}
+	return checked, regressions
+}
+
 func main() {
+	var (
+		benchtime = flag.String("benchtime", "", "record the -benchtime the benches ran with in the report")
+		compareTo = flag.String("compare", "", "baseline JSON to gate against instead of emitting JSON")
+		filter    = flag.String("filter", "", "regexp restricting -compare to matching benchmark names")
+		metric    = flag.String("metric", "ns/op", "metric unit compared by -compare")
+		tolerance = flag.Float64("tolerance", 0.15, "allowed relative slowdown before -compare fails")
+	)
+	flag.Parse()
+
 	rep, err := parseBench(os.Stdin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+	rep.Benchtime = *benchtime
+
+	if *compareTo != "" {
+		raw, err := os.ReadFile(*compareTo)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		var base Report
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parsing baseline %s: %v\n", *compareTo, err)
+			os.Exit(1)
+		}
+		var re *regexp.Regexp
+		if *filter != "" {
+			re, err = regexp.Compile(*filter)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: bad -filter: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		checked, regressions := compare(rep, &base, re, *metric, *tolerance, os.Stdout)
+		if checked == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: no benchmarks matched the baseline (filter %q, metric %q) — the gate compared nothing\n", *filter, *metric)
+			os.Exit(1)
+		}
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d of %d benchmarks regressed beyond %.0f%%\n", regressions, checked, *tolerance*100)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if allSingleIteration(rep) {
+		fmt.Fprintf(os.Stderr, "benchjson: all %d benchmarks ran exactly one iteration — single-iteration timings are noise, not a baseline; rerun go test with a larger -benchtime\n",
+			len(rep.Benchmarks))
 		os.Exit(1)
 	}
 	enc := json.NewEncoder(os.Stdout)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -59,6 +60,64 @@ func TestParseBenchRejectsFailure(t *testing.T) {
 		if _, err := parseBench(strings.NewReader(in)); err == nil {
 			t.Errorf("parseBench(%q): want error, got nil", in)
 		}
+	}
+}
+
+func TestAllSingleIteration(t *testing.T) {
+	one := Benchmark{Name: "a", Iterations: 1, Metrics: map[string]float64{"ns/op": 5}}
+	three := Benchmark{Name: "b", Iterations: 3, Metrics: map[string]float64{"ns/op": 5}}
+	tests := []struct {
+		name string
+		rep  Report
+		want bool
+	}{
+		{"empty", Report{}, false},
+		{"all 1x", Report{Benchmarks: []Benchmark{one, one}}, true},
+		{"mixed", Report{Benchmarks: []Benchmark{one, three}}, false},
+		{"all multi", Report{Benchmarks: []Benchmark{three}}, false},
+	}
+	for _, tt := range tests {
+		if got := allSingleIteration(&tt.rep); got != tt.want {
+			t.Errorf("%s: allSingleIteration = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	mk := func(name string, ns float64) Benchmark {
+		return Benchmark{Name: name, Iterations: 3, Metrics: map[string]float64{"ns/round": ns}}
+	}
+	base := &Report{Benchmarks: []Benchmark{mk("BenchmarkResolve/n=16384/alpha=2/serial", 1000), mk("BenchmarkOther", 50)}}
+
+	// Within tolerance: pass.
+	fresh := &Report{Benchmarks: []Benchmark{mk("BenchmarkResolve/n=16384/alpha=2/serial", 1100)}}
+	var sb strings.Builder
+	checked, regressions := compare(fresh, base, nil, "ns/round", 0.15, &sb)
+	if checked != 1 || regressions != 0 {
+		t.Fatalf("within tolerance: checked=%d regressions=%d\n%s", checked, regressions, sb.String())
+	}
+
+	// Beyond tolerance: regression.
+	fresh = &Report{Benchmarks: []Benchmark{mk("BenchmarkResolve/n=16384/alpha=2/serial", 1200)}}
+	if _, regressions = compare(fresh, base, nil, "ns/round", 0.15, &strings.Builder{}); regressions != 1 {
+		t.Fatalf("beyond tolerance: regressions=%d, want 1", regressions)
+	}
+
+	// Filter restricts the comparison; unmatched baselines don't count.
+	fresh = &Report{Benchmarks: []Benchmark{
+		mk("BenchmarkResolve/n=16384/alpha=2/serial", 1000),
+		mk("BenchmarkOther", 500), // 10x worse but filtered out
+	}}
+	re := regexp.MustCompile(`BenchmarkResolve/n=16384`)
+	checked, regressions = compare(fresh, base, re, "ns/round", 0.15, &strings.Builder{})
+	if checked != 1 || regressions != 0 {
+		t.Fatalf("filtered: checked=%d regressions=%d", checked, regressions)
+	}
+
+	// A fresh bench absent from the baseline is skipped, not an error.
+	fresh = &Report{Benchmarks: []Benchmark{mk("BenchmarkBrandNew", 10)}}
+	if checked, _ = compare(fresh, base, nil, "ns/round", 0.15, &strings.Builder{}); checked != 0 {
+		t.Fatalf("unknown bench: checked=%d, want 0", checked)
 	}
 }
 

@@ -12,13 +12,21 @@
 //	broadcast-sim -alg decay              -scenario expchain:n=32,ratio=0.6
 //	broadcast-sim -alg wakeup:wakers=4    -scenario clusters:k=3,m=16
 //	broadcast-sim -alg nos:budgetmul=2    -scenario dumbbell:n=96
+//	broadcast-sim -alg decay -engine hier -scenario uniform:n=100000,density=16
 //	broadcast-sim -list
 //
+// The -engine flag selects the physical layer for any protocol:
+// "exact" (the paper's model and the default), the approximate "grid"
+// or "hier" engines, or "auto" (exact below a few thousand stations,
+// grid at mid scale, the hierarchical far field beyond — see the
+// engine-selection notes in the repository README).
+//
 // Exit codes: 2 for usage errors — malformed or unknown specs,
-// out-of-range values against declared bounds, and protocol
-// parameters that mismatch the generated network (source ≥ n); 1 for
-// runtime failures, including scenario parameters whose bounds are
-// physics-dependent and only checkable inside the builder.
+// out-of-range values against declared bounds, protocol parameters
+// that mismatch the generated network (source ≥ n), and scenario
+// parameters whose physics-dependent bounds the builder rejects
+// (dumbbell radius beyond the comm radius); 1 for runtime failures
+// (e.g. a densifying generator exhausting its connectivity retries).
 package main
 
 import (
@@ -49,10 +57,11 @@ func die(code int, format string, args ...any) {
 
 func main() {
 	var (
-		alg  = flag.String("alg", "nos", "protocol spec: name[:param=value,...]; see -list")
-		spec = flag.String("scenario", "uniform:n=96", "scenario spec: family[:name=value,...]; see -list")
-		seed = flag.Uint64("seed", 1, "seed for generator and protocol")
-		list = flag.Bool("list", false, "list registered protocols and scenario families with their parameters and exit")
+		alg    = flag.String("alg", "nos", "protocol spec: name[:param=value,...]; see -list")
+		spec   = flag.String("scenario", "uniform:n=96", "scenario spec: family[:name=value,...]; see -list")
+		seed   = flag.Uint64("seed", 1, "seed for generator and protocol")
+		engine = flag.String("engine", "exact", "physical engine: exact|grid|hier|auto")
+		list   = flag.Bool("list", false, "list registered protocols and scenario families with their parameters and exit")
 	)
 	flag.Parse()
 
@@ -78,11 +87,21 @@ func main() {
 	if err := scenario.Validate(sp); err != nil {
 		die(exitUsage, "%v", err)
 	}
+	channel, err := protocol.NamedChannel(*engine)
+	if err != nil {
+		die(exitUsage, "%v", err)
+	}
 	net, err := scenario.Generate(sp, sinr.DefaultParams(), *seed)
 	if err != nil {
+		// Physics-dependent parameter rejections from the builder are
+		// usage errors; exhausted connectivity retries are runtime.
+		var se *scenario.SpecError
+		if errors.As(err, &se) {
+			die(exitUsage, "%v", err)
+		}
 		die(exitRun, "%v", err)
 	}
-	res, err := protocol.Run(net, ps, *seed)
+	res, err := protocol.RunOn(net, ps, *seed, channel)
 	if err != nil {
 		// Spec-vs-network mismatches (source ≥ n, too many wakers) are
 		// usage errors like any other bad spec.

@@ -1,17 +1,20 @@
 // Command experiments regenerates every table of EXPERIMENTS.md: the
 // measured reproduction of each quantitative claim in the paper
-// (E1–E11) plus the registry-driven sweeps — the cross-family sweep
-// (E12) and the protocol×scenario matrix (E13). Tables stream to a
+// (E1–E11), the registry-driven sweeps — the cross-family sweep (E12)
+// and the protocol×scenario matrix (E13) — and the large-n engine
+// scaling study E14 (the only experiment the -engine flag applies to;
+// E1–E13 always run the paper's exact engine). Tables stream to a
 // pluggable sink: aligned text (default), CSV, or JSON.
 //
 // Usage:
 //
-//	experiments                    # full suite (several minutes)
+//	experiments                    # full suite (E14's 10⁶ points dominate)
 //	experiments -scale 0.5         # half-size networks
 //	experiments -only 6            # a single experiment
 //	experiments -format json       # machine-readable output
 //	experiments -only 12 -scenario annulus:n=96
 //	experiments -only 13 -alg nos:budgetmul=2 -scenario uniform:n=48
+//	experiments -only 14 -scale 0.01 -engine auto -trials 2
 //	experiments -list              # protocol and scenario catalogues
 package main
 
@@ -32,7 +35,7 @@ func main() {
 		seed    = flag.Uint64("seed", 2014, "experiment seed")
 		trials  = flag.Int("trials", 5, "trials per data point")
 		scale   = flag.Float64("scale", 1, "network size multiplier")
-		only    = flag.Int("only", 0, "run a single experiment (1-13), 0 = all")
+		only    = flag.Int("only", 0, "run a single experiment (1-14), 0 = all")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0),
 			"concurrent trials per data point (tables are identical for any value)")
 		format = flag.String("format", "text", "output format: text|csv|json")
@@ -40,6 +43,8 @@ func main() {
 			"restrict E12/E13 to one scenario spec (default: every registered family)")
 		alg = flag.String("alg", "",
 			"restrict E13 to one protocol spec (default: every registered protocol)")
+		engine = flag.String("engine", "auto",
+			"physical engine for E14: exact|grid|hier|auto (E1-E13 always use the exact engine)")
 		list = flag.Bool("list", false, "list registered protocols and scenario families and exit")
 	)
 	flag.Parse()
@@ -75,7 +80,13 @@ func main() {
 		}
 	}
 
-	cfg := exp.Config{Seed: *seed, Trials: *trials, Scale: *scale, Workers: *workers, Scenario: *spec, Protocol: *alg}
+	if _, err := protocol.NamedChannel(*engine); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
+
+	cfg := exp.Config{Seed: *seed, Trials: *trials, Scale: *scale, Workers: *workers,
+		Scenario: *spec, Protocol: *alg, Engine: *engine}
 	runners := map[int]struct {
 		name string
 		run  func(exp.Config) (*stats.Table, error)
@@ -93,8 +104,9 @@ func main() {
 		11: {"E11", exp.E11ColoringAblation},
 		12: {"E12", exp.E12CrossFamilySweep},
 		13: {"E13", exp.E13ProtocolMatrix},
+		14: {"E14", exp.E14LargeNScaling},
 	}
-	ids := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}
+	ids := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14}
 	if *only != 0 {
 		if _, ok := runners[*only]; !ok {
 			fmt.Fprintf(os.Stderr, "experiments: no experiment %d\n", *only)

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -46,6 +47,14 @@ func main() {
 	p := sinr.DefaultParams()
 	net, err := scenario.Generate(sp, p, *seed)
 	if err != nil {
+		// Physics-dependent parameter rejections are usage errors (exit
+		// 2) like statically invalid specs; only genuine generation
+		// failures (exhausted connectivity retries) are runtime (exit 1).
+		var se *scenario.SpecError
+		if errors.As(err, &se) {
+			fmt.Fprintf(os.Stderr, "netgen: %v\n", err)
+			os.Exit(2)
+		}
 		fmt.Fprintf(os.Stderr, "netgen: %v\n", err)
 		os.Exit(1)
 	}

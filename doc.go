@@ -66,6 +66,44 @@
 // stations) never spawn shards, so small-network trials do not
 // oversubscribe the machine.
 //
+// # Engine selection
+//
+// Three physical engines resolve rounds, trading accuracy for scale:
+//
+//   - exact (sinr.Engine): the paper's model, O(|tx|·n) per round.
+//     Every experiment table (E1–E13) and every default code path uses
+//     it; it is the reference the approximate engines are measured
+//     against.
+//   - grid (sinr.GridEngine): transmitters bucket into cells;
+//     interference from cells outside the near field is aggregated at
+//     the cell center. O(liveCells + nearBox) per receiver. Good to
+//     tens of thousands of stations.
+//   - hier (sinr.HierEngine): the grid's cells stack into a
+//     power-of-two pyramid whose nodes hold aggregate power at their
+//     center of mass; each receiver descends the pyramid, accepting a
+//     node when its diameter/distance ratio is below θ (default 0.5 —
+//     the θ knob trades accuracy for speed) and recursing otherwise.
+//     O(log cells) per receiver, and receivers with no transmitter in
+//     their near field are rejected with one table lookup. Built for
+//     million-station rounds.
+//
+// Both approximate engines keep near-field interference and the
+// decoding candidate exact, so approximation only perturbs the far
+// interference tail; the hierarchy's center-of-mass placement cancels
+// the first-order error of the grid's fixed centers, so its measured
+// disagreement against the exact engine is lower (TestHierEngineAgreement).
+// sinr.AutoEngine (CLI flag -engine auto) picks by n and α: exact below
+// ~4k stations or when α is within 0.5 of the growth degree (the far
+// field barely converges there), grid to ~32k, hier beyond.
+//
+// All three engines also implement ResolveFor(tx, receivers) — subset
+// resolution byte-identical to a filtered Resolve — and sim.Engine
+// exposes SetReceiverActive so protocols whose quiescent stations
+// cannot change state by receiving (informed flood stations,
+// SBroadcast stations past the coloring, alerted alert stations) stop
+// paying O(n) per round for settled receivers. Experiment E14 measures
+// the resulting large-n throughput at 10⁴–10⁶ stations.
+//
 // # Scenario architecture
 //
 // Topology construction is registry-driven (internal/scenario): each

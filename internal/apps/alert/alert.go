@@ -35,6 +35,10 @@ type Config struct {
 	// CProb and MaxTxProb shape the flood probability as in broadcast.
 	CProb     float64
 	MaxTxProb float64
+	// Channel optionally overrides the physical layer (engine
+	// selection for large-n runs). nil uses the exact SINR engine,
+	// which is the paper's model.
+	Channel func(net *network.Network) (sim.Resolver, error)
 }
 
 // DefaultConfig returns a calibrated configuration.
@@ -125,6 +129,11 @@ func (s *station) Recv(t int, msg sim.Message) {
 	}
 }
 
+// tracerFunc adapts a function to sim.Tracer.
+type tracerFunc func(t int, tx []int, rec []sinr.Reception)
+
+func (f tracerFunc) OnRound(t int, tx []int, rec []sinr.Reception) { f(t, tx, rec) }
+
 // Result reports an alert execution.
 type Result struct {
 	// Outputs[i] is station i's verdict at the deadline.
@@ -157,7 +166,13 @@ func Run(net *network.Network, cfg Config, seed uint64, raised []bool) (*Result,
 	if !connected {
 		return nil, errors.New("alert: network not connected")
 	}
-	phys, err := sinr.NewEngine(net.Space, net.Params)
+	var phys sim.Resolver
+	var err error
+	if cfg.Channel != nil {
+		phys, err = cfg.Channel(net)
+	} else {
+		phys, err = sinr.NewEngine(net.Space, net.Params)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -184,6 +199,22 @@ func Run(net *network.Network, cfg Config, seed uint64, raised []bool) (*Result,
 	colorLen := cfg.Coloring.TotalRounds()
 	eng.Run(colorLen, nil)
 	preFlood := eng.Metrics.Transmissions
+	// Flood window: an already-alerted station's Recv is a no-op, so
+	// alerted stations stop being resolved as receivers (they still
+	// transmit the alert). Receptions at the remaining listeners are
+	// byte-identical to a full resolution, so verdicts are unchanged.
+	for i, st := range stations {
+		if st.alerted {
+			eng.SetReceiverActive(i, false)
+		}
+	}
+	eng.SetTracer(tracerFunc(func(_ int, _ []int, rec []sinr.Reception) {
+		for _, rc := range rec {
+			if stations[rc.Receiver].alerted {
+				eng.SetReceiverActive(rc.Receiver, false)
+			}
+		}
+	}))
 	eng.Run(cfg.window(d), nil)
 
 	any := false

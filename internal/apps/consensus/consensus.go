@@ -41,6 +41,10 @@ type Config struct {
 	// p·cε/(CProb·lg n) as in broadcast.Config.
 	CProb     float64
 	MaxTxProb float64
+	// Channel optionally overrides the physical layer (engine
+	// selection for large-n runs). nil uses the exact SINR engine,
+	// which is the paper's model.
+	Channel func(net *network.Network) (sim.Resolver, error)
 }
 
 // DefaultConfig returns a calibrated consensus configuration.
@@ -213,6 +217,15 @@ type Result struct {
 	Metrics sim.Metrics
 }
 
+// channelFor builds the physical layer: cfg.Channel if set, else the
+// exact SINR engine.
+func channelFor(cfg Config, net *network.Network) (sim.Resolver, error) {
+	if cfg.Channel != nil {
+		return cfg.Channel(net)
+	}
+	return sinr.NewEngine(net.Space, net.Params)
+}
+
 // Run executes consensus over the stations' messages msgs (one per
 // station, each in {0..cfg.X}).
 func Run(net *network.Network, cfg Config, seed uint64, msgs []int64) (*Result, error) {
@@ -235,7 +248,7 @@ func Run(net *network.Network, cfg Config, seed uint64, msgs []int64) (*Result, 
 	if !connected {
 		return nil, errors.New("consensus: network not connected")
 	}
-	phys, err := sinr.NewEngine(net.Space, net.Params)
+	phys, err := channelFor(cfg, net)
 	if err != nil {
 		return nil, err
 	}

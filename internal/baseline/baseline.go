@@ -50,8 +50,22 @@ type Policy interface {
 
 // RunFlood floods a message from source under the given policy and
 // returns a broadcast.Result. budget 0 derives a generous default from
-// the network diameter and n.
+// the network diameter and n. The physical layer is the exact SINR
+// engine; RunFloodOn accepts an explicit one.
 func RunFlood(net *network.Network, pol Policy, seed uint64, source, budget int) (*broadcast.Result, error) {
+	return RunFloodOn(net, pol, seed, source, budget, nil)
+}
+
+// RunFloodOn is RunFlood with an explicit physical layer (nil selects
+// the exact engine). A flood's semantics make reception relevant only
+// to uninformed stations — an informed station's reception changes
+// nothing — so when the engine supports subset resolution
+// (sim.SubsetResolver) each round resolves only the uninformed
+// receivers: inform times, round counts and completion are identical to
+// the full resolution, and late rounds stop paying O(n) for stations
+// whose state is settled. (Metrics.Receptions counts the receptions
+// actually resolved, i.e. those at uninformed stations.)
+func RunFloodOn(net *network.Network, pol Policy, seed uint64, source, budget int, phys sim.Resolver) (*broadcast.Result, error) {
 	n := net.N()
 	if source < 0 || source >= n {
 		return nil, fmt.Errorf("baseline: source %d out of range [0,%d)", source, n)
@@ -64,10 +78,16 @@ func RunFlood(net *network.Network, pol Policy, seed uint64, source, budget int)
 		lg := math.Log2(float64(n)) + 1
 		budget = int(float64(2*d+10) * lg * lg * 40)
 	}
-	phys, err := sinr.NewEngine(net.Space, net.Params)
-	if err != nil {
-		return nil, err
+	if phys == nil {
+		eng, err := sinr.NewEngine(net.Space, net.Params)
+		if err != nil {
+			return nil, err
+		}
+		phys = eng
+	} else if phys.N() != n {
+		return nil, fmt.Errorf("baseline: engine has %d stations, network has %d", phys.N(), n)
 	}
+	subset, _ := phys.(sim.SubsetResolver)
 	root := rng.New(seed)
 	rnds := make([]*rng.Source, n)
 	for i := range rnds {
@@ -84,6 +104,8 @@ func RunFlood(net *network.Network, pol Policy, seed uint64, source, budget int)
 	res := &broadcast.Result{InformTime: informedAt}
 	count := 1
 	tx := make([]int, 0, n)
+	var listeners []int
+	listenersStale := true
 	lastInform := 0
 	var metrics sim.Metrics
 	for t := 0; t < budget && count < n; t++ {
@@ -94,13 +116,28 @@ func RunFlood(net *network.Network, pol Policy, seed uint64, source, budget int)
 				tx = append(tx, i)
 			}
 		}
-		rec := phys.Resolve(tx)
+		var rec []sinr.Reception
+		if subset != nil {
+			if listenersStale {
+				listeners = listeners[:0]
+				for i := 0; i < n; i++ {
+					if !informed[i] {
+						listeners = append(listeners, i)
+					}
+				}
+				listenersStale = false
+			}
+			rec = subset.ResolveFor(tx, listeners)
+		} else {
+			rec = phys.Resolve(tx)
+		}
 		for _, rc := range rec {
 			if !informed[rc.Receiver] {
 				informed[rc.Receiver] = true
 				informedAt[rc.Receiver] = t
 				count++
 				lastInform = t + 1
+				listenersStale = true
 			}
 		}
 		metrics.Rounds++

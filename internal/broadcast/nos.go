@@ -24,6 +24,12 @@ type nosStation struct {
 	machine *coloring.Machine
 	rnd     *rng.Source
 	payload int64
+	// phaseLen and colorLen cache cfg.PhaseLen() and
+	// cfg.Coloring.TotalRounds(): both are schedule constants, and
+	// recomputing their ~half-dozen transcendental calls in every one
+	// of n Ticks per round dominates million-station rounds.
+	phaseLen int
+	colorLen int
 
 	informed   bool
 	informedAt int
@@ -46,6 +52,8 @@ func newNOSStation(cfg *Config, rnd *rng.Source, payload int64, isSource bool) (
 		machine:    m,
 		rnd:        rnd,
 		payload:    payload,
+		phaseLen:   cfg.PhaseLen(),
+		colorLen:   cfg.Coloring.TotalRounds(),
 		informedAt: -1,
 		wakeAt:     -1,
 	}
@@ -62,8 +70,7 @@ func (s *nosStation) Tick(t int) (bool, sim.Message) {
 		s.informed = true
 		s.informedAt = t
 	}
-	phaseLen := s.cfg.PhaseLen()
-	r := t % phaseLen
+	r := t % s.phaseLen
 	if r == 0 {
 		// Phase boundary: snapshot participation and restart coloring.
 		s.active = s.informed
@@ -73,7 +80,7 @@ func (s *nosStation) Tick(t int) (bool, sim.Message) {
 	if !s.active {
 		return false, sim.Message{}
 	}
-	colorLen := s.cfg.Coloring.TotalRounds()
+	colorLen := s.colorLen
 	if r < colorLen {
 		if s.machine.Tick(r) {
 			return true, sim.Message{Kind: KindColoring, A: s.payload}
@@ -98,8 +105,7 @@ func (s *nosStation) Recv(t int, msg sim.Message) {
 		s.informedAt = t
 	}
 	if s.active {
-		colorLen := s.cfg.Coloring.TotalRounds()
-		if r := t % s.cfg.PhaseLen(); r < colorLen {
+		if r := t % s.phaseLen; r < s.colorLen {
 			s.machine.OnRecv(r)
 		}
 	}

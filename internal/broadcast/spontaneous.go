@@ -24,6 +24,9 @@ type sbStation struct {
 	rnd     *rng.Source
 	payload int64
 	source  bool
+	// colorLen caches cfg.Coloring.TotalRounds(), a schedule constant
+	// recomputed in every Tick otherwise (see nosStation).
+	colorLen int
 
 	informed   bool
 	informedAt int
@@ -34,7 +37,7 @@ var _ sim.Protocol = (*sbStation)(nil)
 
 // Tick implements sim.Protocol.
 func (s *sbStation) Tick(t int) (bool, sim.Message) {
-	colorLen := s.cfg.Coloring.TotalRounds()
+	colorLen := s.colorLen
 	switch {
 	case t < colorLen:
 		if s.machine.Tick(t) {
@@ -60,7 +63,7 @@ func (s *sbStation) Tick(t int) (bool, sim.Message) {
 
 // Recv implements sim.Protocol.
 func (s *sbStation) Recv(t int, msg sim.Message) {
-	colorLen := s.cfg.Coloring.TotalRounds()
+	colorLen := s.colorLen
 	if t < colorLen {
 		s.machine.OnRecv(t)
 		return
@@ -104,6 +107,7 @@ func RunS(net *network.Network, cfg Config, seed uint64, source int, payload int
 			rnd:        root.Split(uint64(i)),
 			payload:    payload,
 			source:     i == source,
+			colorLen:   cfg.Coloring.TotalRounds(),
 			informedAt: -1,
 		}
 		if st.source {
@@ -125,10 +129,30 @@ func RunS(net *network.Network, cfg Config, seed uint64, source int, payload int
 			if stations[rc.Receiver].informedAt == t {
 				remaining--
 				lastInformRound = t + 1
+				// Past the coloring, an informed station's Recv is a
+				// no-op: drop it from reception resolution (the paper's
+				// state machine is unchanged — this only skips physical
+				// work whose outcome cannot matter).
+				eng.SetReceiverActive(rc.Receiver, false)
 			}
 		}
 	}))
-	eng.Run(defaultBudget(cfg, net), func() bool { return remaining == 0 })
+	// Segment the run at the coloring boundary: during part 1 every
+	// station needs its coloring feedback, so all receivers stay active;
+	// from the dedicated source round on, informed stations are
+	// quiescent receivers and are deactivated as they are informed.
+	budget := defaultBudget(cfg, net)
+	stop := func() bool { return remaining == 0 }
+	colorLen := cfg.Coloring.TotalRounds()
+	pre := colorLen
+	if pre > budget {
+		pre = budget
+	}
+	eng.Run(pre, stop)
+	if eng.Round() >= colorLen {
+		eng.SetReceiverActive(source, false)
+	}
+	eng.Run(budget-pre, stop)
 
 	res := &Result{
 		AllInformed: remaining == 0,

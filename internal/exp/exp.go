@@ -47,6 +47,12 @@ type Config struct {
 	// protocol spec (e.g. "nos:budgetmul=2"). Empty sweeps every
 	// registered protocol.
 	Protocol string
+	// Engine selects the physical engine of E14LargeNScaling: "exact",
+	// "grid", "hier" or "auto" (empty = "auto"). E1–E13 always use each
+	// protocol's default exact engine — their tables are pinned
+	// byte-identical to the historical output and must not drift with
+	// an engine flag.
+	Engine string
 }
 
 // DefaultConfig returns the full-size configuration.
@@ -518,6 +524,7 @@ func All(cfg Config) ([]*stats.Table, error) {
 		E11ColoringAblation,
 		E12CrossFamilySweep,
 		E13ProtocolMatrix,
+		E14LargeNScaling,
 	}
 	var out []*stats.Table
 	for i, r := range runners {

@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestE14Shape runs the scaling experiment at toy sizes and checks its
+// structure: one row per (size, family, algorithm), the resolved engine
+// kind in the engine column, and a sane informed percentage.
+func TestE14Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	cfg := Config{Seed: 2014, Trials: 1, Scale: 0.001, Engine: "auto"}
+	tb, err := E14LargeNScaling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 12 {
+		t.Fatalf("E14 rows = %d, want 12 (3 sizes × 2 families × 2 algorithms)", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if eng := row[2]; eng != "exact" && eng != "grid" && eng != "hier" {
+			t.Errorf("engine column = %v", eng)
+		}
+		var informed float64
+		if _, err := fmt.Sscanf(row[5], "%f", &informed); err != nil || informed < 0 || informed > 100 {
+			t.Errorf("informed%% column = %v", row[5])
+		}
+	}
+}
+
+// TestE14DeterministicColumnsAcrossWorkers pins that every column
+// except the wall-clock throughput is bit-identical for any Workers
+// value (rounds/s measures the machine and is excluded by design).
+func TestE14DeterministicColumnsAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	run := func(workers int) [][]string {
+		cfg := Config{Seed: 7, Trials: 2, Scale: 0.001, Engine: "auto", Workers: workers}
+		tb, err := E14LargeNScaling(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb.Rows
+	}
+	a, b := run(1), run(4)
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		for col := 0; col < 7; col++ { // all but rounds/s
+			if a[i][col] != b[i][col] {
+				t.Errorf("row %d col %d differs across workers: %v vs %v", i, col, a[i][col], b[i][col])
+			}
+		}
+	}
+}
+
+// TestE14RejectsBadEngine pins the usage-error path.
+func TestE14RejectsBadEngine(t *testing.T) {
+	cfg := Config{Seed: 1, Trials: 1, Scale: 0.001, Engine: "warp"}
+	if _, err := E14LargeNScaling(cfg); err == nil {
+		t.Fatal("want error for unknown engine")
+	}
+}
+
+// TestScalingSpecShapes checks the family sizing helpers stay close to
+// the target n and inside declared parameter ranges.
+func TestScalingSpecShapes(t *testing.T) {
+	for _, n := range []int{48, 1000, 10000, 1000000} {
+		sp := scalingSpec("starclusters", n)
+		m, hops := sp.Params["m"], sp.Params["hops"]
+		if m < 2 || m > 2000 {
+			t.Errorf("n=%d: m=%v outside [2,2000]", n, m)
+		}
+		built := 6*m + 5*hops
+		if built < 0.5*float64(n) || built > 1.5*float64(n)+60 {
+			t.Errorf("n=%d: starclusters sizes to %v stations", n, built)
+		}
+		usp := scalingSpec("uniform", n)
+		if usp.Params["n"] != float64(n) || usp.Params["density"] < 3 {
+			t.Errorf("n=%d: uniform spec %v", n, usp.Params)
+		}
+	}
+}

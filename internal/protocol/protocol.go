@@ -34,7 +34,36 @@ import (
 
 	"sinrcast/internal/broadcast"
 	"sinrcast/internal/network"
+	"sinrcast/internal/sim"
+	"sinrcast/internal/sinr"
 )
+
+// Channel builds the physical layer for a run. It matches
+// broadcast.Config.Channel so runners can hand it straight through;
+// nil always means "each protocol's default", the exact SINR engine.
+type Channel = func(net *network.Network) (sim.Resolver, error)
+
+// NamedChannel maps an -engine selection onto a Channel — the single
+// adapter behind every engine flag (broadcast-sim, experiments E14,
+// sinrcast.RunProtocolOn). "" and "exact" return a nil Channel (each
+// protocol's default is already the exact engine); unknown names
+// error, so CLIs can classify them as usage errors.
+func NamedChannel(name string) (Channel, error) {
+	switch name {
+	case "", "exact":
+		return nil, nil
+	case "grid", "hier", "auto":
+		return func(net *network.Network) (sim.Resolver, error) {
+			r, err := sinr.NewNamedEngine(name, net.Space, net.Params)
+			if err != nil {
+				return nil, err
+			}
+			return r, nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("protocol: unknown engine %q (want exact, grid, hier or auto)", name)
+	}
+}
 
 // Param describes one parameter of a protocol.
 type Param struct {
@@ -59,8 +88,14 @@ type Build struct {
 	// Seed drives all protocol randomness.
 	Seed uint64
 
-	params map[string]float64
+	params  map[string]float64
+	channel Channel
 }
+
+// Channel returns the physical-layer factory of this run (nil = the
+// protocol's default engine). Runners thread it into their entry
+// points; see RunOn.
+func (b Build) Channel() Channel { return b.channel }
 
 // Float returns the resolved value of a declared parameter. It panics
 // on undeclared names: that is a bug in the protocol definition, not a

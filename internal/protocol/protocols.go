@@ -10,6 +10,7 @@ import (
 	"sinrcast/internal/baseline"
 	"sinrcast/internal/broadcast"
 	"sinrcast/internal/network"
+	"sinrcast/internal/sim"
 	"sinrcast/internal/sinr"
 )
 
@@ -61,7 +62,7 @@ func budgetParam() Param {
 }
 
 // bcastConfig maps the tuning parameters onto a calibrated
-// broadcast.Config for the network.
+// broadcast.Config for the network, threading the run's channel.
 func bcastConfig(net *network.Network, b Build) broadcast.Config {
 	gamma := b.Float("gamma")
 	if gamma <= 0 {
@@ -71,10 +72,20 @@ func bcastConfig(net *network.Network, b Build) broadcast.Config {
 	cfg.TxRounds = b.Float("txrounds")
 	cfg.CProb = b.Float("cprob")
 	cfg.MaxTxProb = b.Float("maxtxprob")
+	cfg.Channel = b.Channel()
 	if m := b.Float("budgetmul"); m != 1 {
 		cfg.MaxRounds = int(math.Ceil(m * float64(broadcast.Budget(cfg, net))))
 	}
 	return cfg
+}
+
+// floodPhys builds the flood baselines' physical layer from the run's
+// channel (nil = RunFloodOn's default exact engine).
+func floodPhys(net *network.Network, b Build) (sim.Resolver, error) {
+	if ch := b.Channel(); ch != nil {
+		return ch(net)
+	}
+	return nil, nil
 }
 
 // spread returns k station indices spread evenly over [0, n): the
@@ -180,7 +191,11 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			return baseline.RunFlood(net, baseline.NewDecay(net.N()), b.Seed, src, b.Int("budget"))
+			phys, err := floodPhys(net, b)
+			if err != nil {
+				return nil, err
+			}
+			return baseline.RunFloodOn(net, baseline.NewDecay(net.N()), b.Seed, src, b.Int("budget"), phys)
 		},
 	})
 
@@ -193,7 +208,11 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			return baseline.RunFlood(net, baseline.NewDaumStyle(net), b.Seed, src, b.Int("budget"))
+			phys, err := floodPhys(net, b)
+			if err != nil {
+				return nil, err
+			}
+			return baseline.RunFloodOn(net, baseline.NewDaumStyle(net), b.Seed, src, b.Int("budget"), phys)
 		},
 	})
 
@@ -208,7 +227,11 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			return baseline.RunFlood(net, baseline.NewDensityOracle(net, b.Float("c")), b.Seed, src, b.Int("budget"))
+			phys, err := floodPhys(net, b)
+			if err != nil {
+				return nil, err
+			}
+			return baseline.RunFloodOn(net, baseline.NewDensityOracle(net, b.Float("c")), b.Seed, src, b.Int("budget"), phys)
 		},
 	})
 
@@ -225,7 +248,11 @@ func init() {
 			if err != nil {
 				return nil, err
 			}
-			return baseline.RunFlood(net, pol, b.Seed, src, b.Int("budget"))
+			phys, err := floodPhys(net, b)
+			if err != nil {
+				return nil, err
+			}
+			return baseline.RunFloodOn(net, pol, b.Seed, src, b.Int("budget"), phys)
 		},
 	})
 
@@ -244,6 +271,7 @@ func init() {
 			x := int64(b.Int("x"))
 			cfg := consensus.DefaultConfig(net.N(), net.Space.Growth(), net.Params.Eps, x)
 			cfg.WindowFactor = b.Float("windowfactor")
+			cfg.Channel = b.Channel()
 			msgs := make([]int64, net.N())
 			for i := range msgs {
 				msgs[i] = int64(i*37+100) % (x + 1)
@@ -265,6 +293,7 @@ func init() {
 		Doc:  "leader election (§5): consensus on random IDs from {1..n³}; informed = unique leader elected",
 		Run: func(net *network.Network, b Build) (*broadcast.Result, error) {
 			cfg := consensus.DefaultConfig(net.N(), net.Space.Growth(), net.Params.Eps, 1)
+			cfg.Channel = b.Channel()
 			res, err := leader.Run(net, cfg, b.Seed)
 			if err != nil {
 				return nil, err
@@ -289,6 +318,7 @@ func init() {
 				return nil, specErrorf("protocol: alert raised=%d exceeds n=%d", k, net.N())
 			}
 			cfg := alert.DefaultConfig(net.N(), net.Space.Growth(), net.Params.Eps)
+			cfg.Channel = b.Channel()
 			raised := make([]bool, net.N())
 			for _, s := range spread(net.N(), k) {
 				raised[s] = true

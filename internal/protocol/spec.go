@@ -174,7 +174,20 @@ func Validate(spec Spec) error {
 // given seed. Defaults fill omitted parameters; unknown names,
 // out-of-range values, and fractional values for integer parameters
 // are rejected. The execution is deterministic in (net, spec, seed).
+// The physical layer is each protocol's default — the exact SINR
+// engine, the paper's model; RunOn selects a different one.
 func Run(net *network.Network, spec Spec, seed uint64) (*broadcast.Result, error) {
+	return RunOn(net, spec, seed, nil)
+}
+
+// RunOn is Run with an explicit physical-layer factory. Every runner
+// threads it into its underlying entry point (broadcast.Config.Channel,
+// baseline.RunFloodOn, the app configs), so one -engine flag selects
+// the engine for any registered protocol. nil keeps the default exact
+// engine. Approximate engines (grid/hier/auto on large n) change
+// physics slightly — results are deterministic but not comparable
+// bit-for-bit with exact-engine runs.
+func RunOn(net *network.Network, spec Spec, seed uint64, ch Channel) (*broadcast.Result, error) {
 	p, ok := Lookup(spec.Name)
 	if !ok {
 		return nil, fmt.Errorf("protocol: unknown protocol %q (known: %s)", spec.Name, strings.Join(Names(), ", "))
@@ -183,5 +196,5 @@ func Run(net *network.Network, spec Spec, seed uint64) (*broadcast.Result, error
 	if err != nil {
 		return nil, err
 	}
-	return p.Run(net, Build{Seed: seed, params: resolved})
+	return p.Run(net, Build{Seed: seed, params: resolved, channel: ch})
 }

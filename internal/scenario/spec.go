@@ -143,6 +143,25 @@ func resolve(f *Family, spec Spec) (map[string]float64, error) {
 	return resolved, nil
 }
 
+// SpecError marks a spec-vs-physics mismatch detected inside a
+// builder: the parameters are statically valid (Validate passes) but
+// their combination cannot describe a deployment — a dumbbell blob
+// radius beyond the communication radius, a lattice spacing that
+// disconnects the grid, a hole larger than the lattice. CLIs classify
+// it as a usage error (exit 2), not a runtime failure; genuine runtime
+// failures (a densifying generator exhausting its connectivity-retry
+// budget) stay plain errors. This mirrors protocol.SpecError on the
+// algorithm axis.
+type SpecError struct{ msg string }
+
+func (e *SpecError) Error() string { return e.msg }
+
+// specErrorf builds a SpecError; used by builders for their
+// physics-dependent parameter checks.
+func specErrorf(format string, args ...any) error {
+	return &SpecError{msg: fmt.Sprintf(format, args...)}
+}
+
 // Validate checks a spec against the registry without building it:
 // the family must exist and every override must be declared, in
 // range, and integral where required. (Builders may still reject

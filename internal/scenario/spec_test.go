@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -140,5 +141,50 @@ func TestDescribeListsEverything(t *testing.T) {
 				t.Errorf("catalogue missing doc for %s.%s", f.Name, p.Name)
 			}
 		}
+	}
+}
+
+// TestBuilderSpecErrors pins the typed classification of builder-time
+// failures: physics-dependent parameter rejections (values that pass
+// the static bounds but cannot describe a deployment) carry *SpecError
+// so CLIs exit 2 (usage), while exhausted connectivity retries stay
+// plain runtime errors. This mirrors protocol.SpecError.
+func TestBuilderSpecErrors(t *testing.T) {
+	phys := sinr.DefaultParams()
+	usage := []Spec{
+		// dumbbell blob radius beyond the comm radius (static Max is inf).
+		{Family: "dumbbell", Params: map[string]float64{"radius": 5}},
+		// dumbbell too small for its own bridge relays.
+		{Family: "dumbbell", Params: map[string]float64{"n": 3, "bridge": 20}},
+		// lattice spacing beyond the comm radius disconnects the grid.
+		{Family: "grid", Params: map[string]float64{"spacing": 2}},
+		// hole larger than the carved lattice.
+		{Family: "gridholes", Params: map[string]float64{"n": 16, "hole": 8}},
+		// starclusters blob beyond commRadius/2.
+		{Family: "starclusters", Params: map[string]float64{"radius": 0.5}},
+		// gradient ramp below 1 is checked in the builder.
+		{Family: "expchain", Params: map[string]float64{"first": 3}},
+	}
+	for _, sp := range usage {
+		_, err := Generate(sp, phys, 1)
+		if err == nil {
+			t.Errorf("Generate(%v): want error", sp)
+			continue
+		}
+		var se *SpecError
+		if !errors.As(err, &se) {
+			t.Errorf("Generate(%v) error %v is not a *SpecError", sp, err)
+		}
+	}
+
+	// Statically invalid values never reach the builder and stay plain
+	// (registry-level) errors, not SpecErrors.
+	_, err := Generate(Spec{Family: "uniform", Params: map[string]float64{"n": -1}}, phys, 1)
+	if err == nil {
+		t.Fatal("want error for n=-1")
+	}
+	var se *SpecError
+	if errors.As(err, &se) {
+		t.Errorf("static range violation classified as SpecError: %v", err)
 	}
 }

@@ -42,16 +42,28 @@ type Protocol interface {
 	Recv(t int, msg Message)
 }
 
-// Resolver is the physical layer. *sinr.Engine and *sinr.GridEngine
-// both implement it.
+// Resolver is the physical layer. *sinr.Engine, *sinr.GridEngine and
+// *sinr.HierEngine all implement it (and SubsetResolver below).
 type Resolver interface {
 	Resolve(tx []int) []sinr.Reception
 	N() int
 }
 
+// SubsetResolver is the optional physical-layer capability behind the
+// engine's receiver-activity hook: resolving a round for an explicit
+// receiver subset, byte-identical to a filtered full Resolve. All sinr
+// engines implement it; wrapper channels (e.g. the fading engine, whose
+// per-link randomness is drawn in full-network order) may not, in which
+// case the engine transparently falls back to full resolution.
+type SubsetResolver interface {
+	Resolver
+	ResolveFor(tx []int, receivers []int) []sinr.Reception
+}
+
 var (
-	_ Resolver = (*sinr.Engine)(nil)
-	_ Resolver = (*sinr.GridEngine)(nil)
+	_ SubsetResolver = (*sinr.Engine)(nil)
+	_ SubsetResolver = (*sinr.GridEngine)(nil)
+	_ SubsetResolver = (*sinr.HierEngine)(nil)
 )
 
 // Tracer observes rounds; used by tests, stats and the CLIs.
@@ -76,10 +88,20 @@ type Metrics struct {
 // Engine drives one simulation.
 type Engine struct {
 	phys   Resolver
+	subset SubsetResolver // phys when it supports ResolveFor, else nil
 	protos []Protocol
 	tracer Tracer
 	msgs   []Message // per-station scratch of this round's messages
 	txIDs  []int
+
+	// Receiver-activity tracking (see SetReceiverActive): inactive
+	// stations are excluded from reception resolution when the physical
+	// layer supports subsets. activeRecv is rebuilt lazily when dirty.
+	inactive    []bool
+	inactiveN   int
+	activeRecv  []int
+	activeDirty bool
+
 	// Metrics of the run so far.
 	Metrics Metrics
 	// round is the global clock; persists across Run calls so phased
@@ -92,12 +114,67 @@ func NewEngine(phys Resolver, protos []Protocol) (*Engine, error) {
 	if phys.N() != len(protos) {
 		return nil, fmt.Errorf("sim: %d stations but %d protocols", phys.N(), len(protos))
 	}
+	subset, _ := phys.(SubsetResolver)
 	return &Engine{
 		phys:   phys,
+		subset: subset,
 		protos: protos,
 		msgs:   make([]Message, len(protos)),
 		txIDs:  make([]int, 0, len(protos)),
 	}, nil
+}
+
+// SetReceiverActive marks whether station i still needs receptions
+// resolved. Runners flip a station inactive once its state can no
+// longer change by receiving — an informed flood station, an SBroadcast
+// station past the coloring whose Recv is a no-op once informed — so
+// late rounds stop paying O(n) interference work for receivers whose
+// outcome is already settled.
+//
+// The contract is strict: receptions delivered to the remaining active
+// stations are byte-identical to a full resolution (ResolveFor
+// guarantees it); an inactive station simply hears nothing, and its
+// Tick keeps running, so it may still transmit. Metrics.Receptions
+// consequently counts only receptions at active stations. When the
+// physical layer does not implement SubsetResolver the flag is recorded
+// but every round resolves in full (receptions at inactive stations are
+// then still delivered — callers must only deactivate stations whose
+// Recv is a no-op, which makes the two paths behaviorally identical).
+func (e *Engine) SetReceiverActive(i int, active bool) {
+	if i < 0 || i >= len(e.protos) {
+		panic(fmt.Sprintf("sim: station %d out of range [0,%d)", i, len(e.protos)))
+	}
+	if e.inactive == nil {
+		if active {
+			return
+		}
+		e.inactive = make([]bool, len(e.protos))
+	}
+	if e.inactive[i] == !active {
+		return
+	}
+	e.inactive[i] = !active
+	if active {
+		e.inactiveN--
+	} else {
+		e.inactiveN++
+	}
+	e.activeDirty = true
+}
+
+// activeReceivers returns the sorted active-station list, rebuilding it
+// only after SetReceiverActive changed something.
+func (e *Engine) activeReceivers() []int {
+	if e.activeDirty {
+		e.activeRecv = e.activeRecv[:0]
+		for i, off := range e.inactive {
+			if !off {
+				e.activeRecv = append(e.activeRecv, i)
+			}
+		}
+		e.activeDirty = false
+	}
+	return e.activeRecv
 }
 
 // SetTracer installs an observer (nil disables tracing).
@@ -120,7 +197,12 @@ func (e *Engine) Step() int {
 			e.txIDs = append(e.txIDs, i)
 		}
 	}
-	rec := e.phys.Resolve(e.txIDs)
+	var rec []sinr.Reception
+	if e.subset != nil && e.inactiveN > 0 {
+		rec = e.subset.ResolveFor(e.txIDs, e.activeReceivers())
+	} else {
+		rec = e.phys.Resolve(e.txIDs)
+	}
 	for _, r := range rec {
 		e.protos[r.Receiver].Recv(t, e.msgs[r.Transmitter])
 	}

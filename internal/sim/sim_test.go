@@ -193,6 +193,93 @@ func TestMultiTracer(t *testing.T) {
 	}
 }
 
+// fullOnlyResolver wraps an engine hiding its ResolveFor, to exercise
+// the fallback path of the receiver-activity hook.
+type fullOnlyResolver struct{ inner *sinr.Engine }
+
+func (f fullOnlyResolver) Resolve(tx []int) []sinr.Reception { return f.inner.Resolve(tx) }
+func (f fullOnlyResolver) N() int                            { return f.inner.N() }
+
+func TestSetReceiverActiveSkipsInactive(t *testing.T) {
+	// Station 0 beacons every round; stations 1 and 2 listen in range.
+	mk := func() ([]*beaconProto, *Engine) {
+		phys, err := sinr.NewEngine(geom.NewEuclidean([]geom.Point{
+			{X: 0, Y: 0}, {X: 0.5, Y: 0}, {X: -0.5, Y: 0},
+		}), sinr.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		protos := []*beaconProto{{every: 1, payload: 9}, {}, {}}
+		e, err := NewEngine(phys, []Protocol{protos[0], protos[1], protos[2]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return protos, e
+	}
+
+	protos, e := mk()
+	e.SetReceiverActive(2, false)
+	e.Run(3, nil)
+	if len(protos[1].got) != 3 {
+		t.Fatalf("active station received %d messages, want 3", len(protos[1].got))
+	}
+	if len(protos[2].got) != 0 {
+		t.Fatalf("inactive station received %d messages, want 0", len(protos[2].got))
+	}
+	if e.Metrics.Receptions != 3 {
+		t.Fatalf("Receptions = %d, want 3 (active only)", e.Metrics.Receptions)
+	}
+
+	// Reactivation restores delivery; deliveries to the active station
+	// are identical throughout (the ResolveFor contract).
+	e.SetReceiverActive(2, true)
+	e.Run(2, nil)
+	if len(protos[2].got) != 2 {
+		t.Fatalf("reactivated station received %d messages, want 2", len(protos[2].got))
+	}
+
+	// Idempotent flips must not corrupt the inactive count.
+	e.SetReceiverActive(2, false)
+	e.SetReceiverActive(2, false)
+	e.SetReceiverActive(2, true)
+	e.Run(1, nil)
+	if len(protos[2].got) != 3 {
+		t.Fatalf("after idempotent flips station 2 got %d, want 3", len(protos[2].got))
+	}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("want panic for out-of-range station")
+			}
+		}()
+		e.SetReceiverActive(99, false)
+	}()
+}
+
+func TestSetReceiverActiveFallbackWithoutSubsetResolver(t *testing.T) {
+	// A resolver without ResolveFor resolves in full; the flag is
+	// recorded but receptions still reach "inactive" stations — which is
+	// why callers may only deactivate stations whose Recv is a no-op.
+	inner, err := sinr.NewEngine(geom.NewEuclidean([]geom.Point{
+		{X: 0, Y: 0}, {X: 0.5, Y: 0},
+	}), sinr.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &beaconProto{every: 1, payload: 1}
+	b := &beaconProto{}
+	e, err := NewEngine(fullOnlyResolver{inner}, []Protocol{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetReceiverActive(1, false)
+	e.Run(2, nil)
+	if len(b.got) != 2 {
+		t.Fatalf("fallback delivered %d messages, want 2 (full resolution)", len(b.got))
+	}
+}
+
 func TestCollisionNoDelivery(t *testing.T) {
 	// Both stations transmit every round: no one ever listens, so no
 	// receptions and metrics reflect pure contention.

@@ -45,7 +45,9 @@ type Engine struct {
 	minParallelN int
 	par          shardRunner
 	shardFn      func(shard int)
+	shardForFn   func(shard int)
 	curTx        []int // transmitter set of the round being sharded
+	curRecv      []int // receiver subset of the ResolveFor round being sharded
 
 	// scratch buffers reused across rounds to stay allocation free.
 	sig  []float64 // total received power per station
@@ -57,7 +59,7 @@ type Engine struct {
 	// the same predicate either way because the communication range is
 	// normalized to exactly 1 (d > 1 ⇔ d² > 1).
 	bestD []float64
-	isTx []bool
+	isTx  []bool
 	// out is the merged reception list returned by Resolve; the
 	// shardRunner holds per-shard buffers so parallel rounds write
 	// disjoint slices and merge deterministically.
@@ -129,6 +131,53 @@ func (e *Engine) Resolve(tx []int) []Reception {
 	return e.out
 }
 
+// ResolveFor computes the receptions of one round restricted to the
+// given receivers: the result is byte-identical to Resolve(tx) filtered
+// to receivers in the subset — interference at a receiver depends only
+// on that receiver and the transmitter set, so skipping other stations
+// changes nothing for the listed ones. receivers must be strictly
+// increasing station indices; the slice is only read. The cost is
+// O(|tx|·|receivers|), which is what makes it worthwhile: protocols
+// whose inactive stations can no longer change state (see sim.Engine's
+// receiver-activity hook) stop paying O(n) per round.
+func (e *Engine) ResolveFor(tx []int, receivers []int) []Reception {
+	if len(tx) == 0 || len(receivers) == 0 {
+		return nil
+	}
+	n := e.space.Len()
+	checkReceivers(receivers, n)
+	for _, t := range tx {
+		if t < 0 || t >= n {
+			panic(fmt.Sprintf("sinr: transmitter %d out of range [0,%d)", t, n))
+		}
+		e.isTx[t] = true
+	}
+	if e.workers > 1 && len(receivers) >= e.minParallelN {
+		ensureRunner(&e.par, e, e.workers)
+		if e.shardForFn == nil {
+			e.shardForFn = e.runShardFor
+		}
+		e.curTx, e.curRecv = tx, receivers
+		e.out = e.par.runAndMerge(e.shardForFn, e.out)
+		e.curTx, e.curRecv = nil, nil
+	} else {
+		e.accumulateFor(tx, receivers)
+		e.out = e.collectFor(receivers, e.out[:0])
+	}
+	for _, t := range tx {
+		e.isTx[t] = false
+	}
+	return e.out
+}
+
+// runShardFor resolves the shard-th contiguous slice of the subset.
+func (e *Engine) runShardFor(shard int) {
+	lo, hi := e.par.shardRange(shard, len(e.curRecv))
+	recv := e.curRecv[lo:hi]
+	e.accumulateFor(e.curTx, recv)
+	e.par.shardOut[shard] = e.collectFor(recv, e.par.shardOut[shard][:0])
+}
+
 // resolveParallel shards the receiver range [0,n) across the worker
 // pool. Shards touch disjoint ranges of the scratch arrays and append
 // into their own reception buffers, which are then concatenated in
@@ -188,6 +237,78 @@ func (e *Engine) accumulateEuclidean(tx []int, lo, hi int) {
 			}
 		}
 	}
+}
+
+// accumulateFor fills sig/best/bestD for exactly the listed receivers.
+// The transmitter loop order matches accumulate, so every touched entry
+// holds bit-identical values to a full-range pass.
+func (e *Engine) accumulateFor(tx []int, receivers []int) {
+	pw := e.params.Power()
+	kern := e.kern
+	for _, u := range receivers {
+		e.sig[u] = 0
+		e.best[u] = -1
+		e.bestD[u] = math.Inf(1)
+	}
+	if e.pts != nil {
+		for _, t := range tx {
+			tp := e.pts[t]
+			for _, u := range receivers {
+				if e.isTx[u] {
+					continue
+				}
+				dx := e.pts[u].X - tp.X
+				dy := e.pts[u].Y - tp.Y
+				d2 := dx*dx + dy*dy
+				e.sig[u] += pw * kern.FromDist2(d2)
+				if d2 < e.bestD[u] {
+					e.bestD[u] = d2
+					e.best[u] = int32(t)
+				}
+			}
+		}
+		return
+	}
+	for _, t := range tx {
+		for _, u := range receivers {
+			if e.isTx[u] {
+				continue
+			}
+			d := e.space.Dist(t, u)
+			e.sig[u] += pw * kern.FromDist(d)
+			if d < e.bestD[u] {
+				e.bestD[u] = d
+				e.best[u] = int32(t)
+			}
+		}
+	}
+}
+
+// collectFor appends the receptions of exactly the listed receivers,
+// in list (= ascending receiver) order.
+func (e *Engine) collectFor(receivers []int, dst []Reception) []Reception {
+	p := e.params
+	pw := p.Power()
+	euclid := e.pts != nil
+	for _, u := range receivers {
+		if e.isTx[u] || e.best[u] < 0 || e.bestD[u] > 1 {
+			continue
+		}
+		var s float64
+		if euclid {
+			s = pw * e.kern.FromDist2(e.bestD[u])
+		} else {
+			s = pw * e.kern.FromDist(e.bestD[u])
+		}
+		intf := e.sig[u] - s
+		if intf < 0 {
+			intf = 0
+		}
+		if p.Decodes(s, intf) {
+			dst = append(dst, Reception{Receiver: u, Transmitter: int(e.best[u])})
+		}
+	}
+	return dst
 }
 
 // accumulateGeneric handles arbitrary metric spaces through the

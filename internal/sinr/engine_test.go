@@ -309,6 +309,9 @@ func TestGridEngineRejectsBadArgs(t *testing.T) {
 	if _, err := NewGridEngine(eu, DefaultParams(), 1, 0); err == nil {
 		t.Fatal("want error for zero near radius")
 	}
+	if _, err := NewGridEngine(eu, DefaultParams(), 1, 0.5); err == nil {
+		t.Fatal("want error for nearRadius below the communication range (candidate search only covers the near box)")
+	}
 	if _, err := NewGridEngine(geom.NewEuclidean(nil), DefaultParams(), 1, 1); err == nil {
 		t.Fatal("want error for empty point set")
 	}

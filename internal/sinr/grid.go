@@ -7,6 +7,54 @@ import (
 	"sinrcast/internal/geom"
 )
 
+// maxCellBlowup bounds how many grid cells an engine may allocate
+// relative to the station count. A legitimate deployment has cell
+// counts within a small factor of n (cells are sized near the
+// communication radius); a pathological bounding box — two stations a
+// million units apart with a 0.5-unit cell — would otherwise allocate
+// gigabytes of empty cells before the first round runs.
+const maxCellBlowup = 64
+
+// cellBudget is the maximum cell count gridDims accepts for n
+// stations; fitCellSize coarsens the auto-engine cell size against the
+// same bound, so the two can never disagree.
+func cellBudget(n int) float64 { return maxCellBlowup*float64(n) + 1024 }
+
+// gridDims computes the cell-grid geometry shared by GridEngine and
+// HierEngine: the bounding box of the points and the column/row counts
+// at the given cell size. It rejects empty point sets, non-finite
+// coordinates and cell counts beyond cellBudget — the cheap validation
+// that keeps sparse-bounding-box pathologies from turning into huge
+// allocations.
+func gridDims(pts []geom.Point, cellSize float64) (cols, rows int, minX, minY float64, err error) {
+	if len(pts) == 0 {
+		return 0, 0, 0, 0, fmt.Errorf("sinr: empty point set")
+	}
+	minX, minY = math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, q := range pts {
+		minX = math.Min(minX, q.X)
+		minY = math.Min(minY, q.Y)
+		maxX = math.Max(maxX, q.X)
+		maxY = math.Max(maxY, q.Y)
+	}
+	if math.IsInf(minX, 0) || math.IsInf(minY, 0) || math.IsInf(maxX, 0) || math.IsInf(maxY, 0) ||
+		math.IsNaN(minX) || math.IsNaN(minY) || math.IsNaN(maxX) || math.IsNaN(maxY) {
+		return 0, 0, 0, 0, fmt.Errorf("sinr: non-finite station coordinates")
+	}
+	// Validate the cell count in float space before any int conversion:
+	// a huge span divided by a small cell would overflow int (and the
+	// allocation below) long before it described a real deployment.
+	fcols := math.Floor((maxX-minX)/cellSize) + 1
+	frows := math.Floor((maxY-minY)/cellSize) + 1
+	if fcols*frows > cellBudget(len(pts)) {
+		return 0, 0, 0, 0, fmt.Errorf(
+			"sinr: %.0f×%.0f cells of size %v for %d stations (bounding box %.4g×%.4g) exceeds the %d×n cell budget; increase cellSize or use the exact engine",
+			fcols, frows, cellSize, len(pts), maxX-minX, maxY-minY, maxCellBlowup)
+	}
+	return int(fcols), int(frows), minX, minY, nil
+}
+
 // GridEngine resolves rounds approximately for Euclidean networks: the
 // plane is bucketed into cells of side cellSize; interference from cells
 // farther than nearRadius is approximated by the cell's aggregate power
@@ -19,15 +67,23 @@ import (
 // networks, with byte-identical output for every worker count. A
 // GridEngine is not safe for concurrent use by multiple goroutines.
 //
-// Use for large-n scaling benches; the exact Engine remains the default
-// everywhere correctness matters. TestGridEngineAgreement measures the
-// disagreement rate against the exact engine.
+// The per-receiver far-field cost is O(liveCells): every cell holding a
+// transmitter is visited per receiver. HierEngine replaces that scan
+// with an O(log cells) pyramid descent — prefer it beyond ~32k
+// stations (see AutoEngine). The exact Engine remains the default
+// everywhere correctness matters; TestGridEngineAgreement measures the
+// disagreement rate against it.
 type GridEngine struct {
 	params   Params
 	kern     Kernel
 	pts      []geom.Point
 	cellSize float64
 	nearR2   float64
+	// nearCells is the near-field box radius in cells: the exact region
+	// must cover all cells intersecting the nearRadius ball, and padding
+	// by one cell diagonal is enough. Fixed at construction (it depends
+	// only on nearRadius and cellSize).
+	nearCells int
 
 	cols, rows int
 	minX, minY float64
@@ -40,48 +96,49 @@ type GridEngine struct {
 	minParallelN int
 	par          shardRunner
 	shardFn      func(shard int)
+	shardForFn   func(shard int)
 
 	// per-round scratch
 	cellPower []float64
 	txInCell  [][]int32
 	isTx      []bool
 	liveCells []int32
-	nearCells int
+	curRecv   []int // receiver subset of the ResolveFor round being sharded
 	out       []Reception
 }
 
 // NewGridEngine builds a grid engine over Euclidean points. cellSize is
-// the bucket side; nearRadius is the exact-summation radius (transmitters
-// within nearRadius of a receiver are summed exactly).
+// the bucket side; nearRadius is the exact-summation radius
+// (transmitters within nearRadius of a receiver are summed exactly)
+// and must be ≥ 1, the normalized communication range: the decoding
+// candidate is searched only inside the near box, so a smaller radius
+// would silently drop decodable receptions rather than approximate
+// them. Grids whose bounding box would need more than maxCellBlowup×n
+// cells are rejected.
 func NewGridEngine(eu *geom.Euclidean, p Params, cellSize, nearRadius float64) (*GridEngine, error) {
 	if err := p.Validate(eu.Growth()); err != nil {
 		return nil, err
 	}
-	if cellSize <= 0 || nearRadius <= 0 {
-		return nil, fmt.Errorf("sinr: cellSize %v and nearRadius %v must be positive", cellSize, nearRadius)
+	if cellSize <= 0 {
+		return nil, fmt.Errorf("sinr: cellSize %v must be positive", cellSize)
+	}
+	if nearRadius < 1 {
+		return nil, fmt.Errorf("sinr: nearRadius %v must be >= 1 (the normalized communication range)", nearRadius)
 	}
 	pts := eu.Pts
 	n := len(pts)
-	if n == 0 {
-		return nil, fmt.Errorf("sinr: empty point set")
+	cols, rows, minX, minY, err := gridDims(pts, cellSize)
+	if err != nil {
+		return nil, err
 	}
-	minX, minY := math.Inf(1), math.Inf(1)
-	maxX, maxY := math.Inf(-1), math.Inf(-1)
-	for _, q := range pts {
-		minX = math.Min(minX, q.X)
-		minY = math.Min(minY, q.Y)
-		maxX = math.Max(maxX, q.X)
-		maxY = math.Max(maxY, q.Y)
-	}
-	cols := int((maxX-minX)/cellSize) + 1
-	rows := int((maxY-minY)/cellSize) + 1
 	g := &GridEngine{
-		params:   p,
-		kern:     NewKernel(p.Alpha),
-		pts:      pts,
-		cellSize: cellSize,
-		nearR2:   nearRadius * nearRadius,
-		cols:     cols, rows: rows,
+		params:    p,
+		kern:      NewKernel(p.Alpha),
+		pts:       pts,
+		cellSize:  cellSize,
+		nearR2:    nearRadius * nearRadius,
+		nearCells: int(math.Ceil(nearRadius/cellSize)) + 1,
+		cols:      cols, rows: rows,
 		minX: minX, minY: minY,
 		workers:      resolveWorkers(0),
 		minParallelN: parallelCrossover,
@@ -145,17 +202,9 @@ func (g *GridEngine) Params() Params { return g.params }
 // runtime.GOMAXPROCS(0). Output is byte-identical for every count.
 func (g *GridEngine) SetWorkers(w int) { g.workers = resolveWorkers(w) }
 
-// Resolve computes receptions for one round (see Engine.Resolve for
-// semantics). Far-field interference is approximated per cell. The
-// returned slice is owned by the engine and valid until the next
-// Resolve call.
-func (g *GridEngine) Resolve(tx []int) []Reception {
-	if len(tx) == 0 {
-		return nil
-	}
+// aggregate buckets the round's transmitters by cell (serial: O(|tx|)).
+func (g *GridEngine) aggregate(tx []int) {
 	pw := g.params.Power()
-
-	// Aggregate transmitters by cell (serial: it is O(|tx|)).
 	for _, t := range tx {
 		g.isTx[t] = true
 		c := g.cellOf[t]
@@ -165,18 +214,10 @@ func (g *GridEngine) Resolve(tx []int) []Reception {
 		g.cellPower[c] += pw
 		g.txInCell[c] = append(g.txInCell[c], int32(t))
 	}
-	// The exact near region must cover all cells intersecting the
-	// nearRadius ball; padding by one cell diagonal is enough.
-	g.nearCells = int(math.Ceil(math.Sqrt(g.nearR2)/g.cellSize)) + 1
+}
 
-	n := len(g.pts)
-	if g.workers > 1 && n >= g.minParallelN {
-		g.resolveParallel()
-	} else {
-		g.out = g.collectRange(0, n, g.out[:0])
-	}
-
-	// Reset scratch.
+// reset clears the per-round transmitter aggregation.
+func (g *GridEngine) reset(tx []int) {
 	for _, c := range g.liveCells {
 		g.cellPower[c] = 0
 		g.txInCell[c] = g.txInCell[c][:0]
@@ -185,6 +226,55 @@ func (g *GridEngine) Resolve(tx []int) []Reception {
 	for _, t := range tx {
 		g.isTx[t] = false
 	}
+}
+
+// Resolve computes receptions for one round (see Engine.Resolve for
+// semantics). Far-field interference is approximated per cell. The
+// returned slice is owned by the engine and valid until the next
+// Resolve call.
+func (g *GridEngine) Resolve(tx []int) []Reception {
+	if len(tx) == 0 {
+		return nil
+	}
+	g.aggregate(tx)
+
+	n := len(g.pts)
+	if g.workers > 1 && n >= g.minParallelN {
+		g.resolveParallel()
+	} else {
+		g.out = g.collectRange(0, n, g.out[:0])
+	}
+
+	g.reset(tx)
+	return g.out
+}
+
+// ResolveFor computes the receptions of one round restricted to the
+// given receivers: the result is byte-identical to Resolve(tx) filtered
+// to receivers in the subset. receivers must be strictly increasing
+// station indices; the slice is only read. Like Resolve, the returned
+// slice is engine-owned and the subset loop shards across the worker
+// pool when the subset is large enough.
+func (g *GridEngine) ResolveFor(tx []int, receivers []int) []Reception {
+	if len(tx) == 0 || len(receivers) == 0 {
+		return nil
+	}
+	checkReceivers(receivers, len(g.pts))
+	g.aggregate(tx)
+
+	if g.workers > 1 && len(receivers) >= g.minParallelN {
+		ensureRunner(&g.par, g, g.workers)
+		if g.shardForFn == nil {
+			g.shardForFn = g.runShardFor
+		}
+		g.curRecv = receivers
+		g.out = g.par.runAndMerge(g.shardForFn, g.out)
+		g.curRecv = nil
+	} else {
+		g.out = g.collectList(receivers, g.out[:0])
+	}
+
+	g.reset(tx)
 	return g.out
 }
 
@@ -206,70 +296,111 @@ func (g *GridEngine) runShard(shard int) {
 	g.par.shardOut[shard] = g.collectRange(lo, hi, g.par.shardOut[shard][:0])
 }
 
+// runShardFor collects the shard-th contiguous slice of the subset.
+func (g *GridEngine) runShardFor(shard int) {
+	lo, hi := g.par.shardRange(shard, len(g.curRecv))
+	g.par.shardOut[shard] = g.collectList(g.curRecv[lo:hi], g.par.shardOut[shard][:0])
+}
+
 // collectRange resolves receivers in [lo,hi), appending receptions to
 // dst. It only reads shared state.
 func (g *GridEngine) collectRange(lo, hi int, dst []Reception) []Reception {
+	for u := lo; u < hi; u++ {
+		dst = g.collectOne(u, dst)
+	}
+	return dst
+}
+
+// collectList resolves exactly the listed receivers in order.
+func (g *GridEngine) collectList(receivers []int, dst []Reception) []Reception {
+	for _, u := range receivers {
+		dst = g.collectOne(u, dst)
+	}
+	return dst
+}
+
+// collectOne resolves receiver u, appending its reception (if any) to
+// dst. It only reads shared state, so shards may run it concurrently.
+// The receiver's cell coordinates come from the precomputed cellOf
+// table — no per-receiver float divisions.
+func (g *GridEngine) collectOne(u int, dst []Reception) []Reception {
+	if g.isTx[u] {
+		return dst
+	}
 	p := g.params
 	pw := p.Power()
 	kern := g.kern
 	nearCells := g.nearCells
-	for u := lo; u < hi; u++ {
-		if g.isTx[u] {
+	up := g.pts[u]
+	uc := int(g.cellOf[u])
+	ucx := uc % g.cols
+	ucy := uc / g.cols
+	total := 0.0
+	bestD2 := math.Inf(1)
+	best := int32(-1)
+	// Far field: aggregate cell powers.
+	for _, c := range g.liveCells {
+		cx := int(c) % g.cols
+		cy := int(c) / g.cols
+		if abs(cx-ucx) <= nearCells && abs(cy-ucy) <= nearCells {
+			continue // handled exactly below
+		}
+		ctr := g.cellCenter[c]
+		dx, dy := up.X-ctr.X, up.Y-ctr.Y
+		d2 := dx*dx + dy*dy
+		total += g.cellPower[c] * kern.FromDist2(d2)
+	}
+	// Near field: exact per-transmitter sums.
+	for cy := ucy - nearCells; cy <= ucy+nearCells; cy++ {
+		if cy < 0 || cy >= g.rows {
 			continue
 		}
-		up := g.pts[u]
-		ucx := int((up.X - g.minX) / g.cellSize)
-		ucy := int((up.Y - g.minY) / g.cellSize)
-		total := 0.0
-		bestD2 := math.Inf(1)
-		best := int32(-1)
-		// Far field: aggregate cell powers.
-		for _, c := range g.liveCells {
-			cx := int(c) % g.cols
-			cy := int(c) / g.cols
-			if abs(cx-ucx) <= nearCells && abs(cy-ucy) <= nearCells {
-				continue // handled exactly below
-			}
-			ctr := g.cellCenter[c]
-			dx, dy := up.X-ctr.X, up.Y-ctr.Y
-			d2 := dx*dx + dy*dy
-			total += g.cellPower[c] * kern.FromDist2(d2)
-		}
-		// Near field: exact per-transmitter sums.
-		for cy := ucy - nearCells; cy <= ucy+nearCells; cy++ {
-			if cy < 0 || cy >= g.rows {
+		for cx := ucx - nearCells; cx <= ucx+nearCells; cx++ {
+			if cx < 0 || cx >= g.cols {
 				continue
 			}
-			for cx := ucx - nearCells; cx <= ucx+nearCells; cx++ {
-				if cx < 0 || cx >= g.cols {
-					continue
-				}
-				c := cy*g.cols + cx
-				for _, t := range g.txInCell[c] {
-					tp := g.pts[t]
-					dx, dy := up.X-tp.X, up.Y-tp.Y
-					d2 := dx*dx + dy*dy
-					total += pw * kern.FromDist2(d2)
-					if d2 < bestD2 {
-						bestD2 = d2
-						best = t
-					}
+			c := cy*g.cols + cx
+			for _, t := range g.txInCell[c] {
+				tp := g.pts[t]
+				dx, dy := up.X-tp.X, up.Y-tp.Y
+				d2 := dx*dx + dy*dy
+				total += pw * kern.FromDist2(d2)
+				if d2 < bestD2 {
+					bestD2 = d2
+					best = t
 				}
 			}
 		}
-		if best < 0 || bestD2 > 1 {
-			continue
-		}
-		s := pw * kern.FromDist2(bestD2)
-		intf := total - s
-		if intf < 0 {
-			intf = 0
-		}
-		if p.Decodes(s, intf) {
-			dst = append(dst, Reception{Receiver: u, Transmitter: int(best)})
-		}
+	}
+	if best < 0 || bestD2 > 1 {
+		return dst
+	}
+	s := pw * kern.FromDist2(bestD2)
+	intf := total - s
+	if intf < 0 {
+		intf = 0
+	}
+	if p.Decodes(s, intf) {
+		dst = append(dst, Reception{Receiver: u, Transmitter: int(best)})
 	}
 	return dst
+}
+
+// checkReceivers validates a ResolveFor subset: indices must be inside
+// [0,n) and strictly increasing (which also rules out duplicates). The
+// ordering requirement is what makes ResolveFor output byte-identical
+// to a filtered Resolve.
+func checkReceivers(receivers []int, n int) {
+	prev := -1
+	for _, u := range receivers {
+		if u < 0 || u >= n {
+			panic(fmt.Sprintf("sinr: receiver %d out of range [0,%d)", u, n))
+		}
+		if u <= prev {
+			panic(fmt.Sprintf("sinr: receivers not strictly increasing at %d (after %d)", u, prev))
+		}
+		prev = u
+	}
 }
 
 func abs(x int) int {

@@ -1,0 +1,490 @@
+package sinr
+
+import (
+	"fmt"
+	"math"
+
+	"sinrcast/internal/geom"
+)
+
+// Default geometry of the approximate engines: half-comm-radius cells,
+// a near field covering one-and-a-half communication radii (so every
+// decodable transmitter is summed exactly), and a Barnes–Hut style
+// opening threshold of one node diameter per two distances. These are
+// the values AutoEngine and the CLIs use; constructors accept explicit
+// overrides.
+const (
+	// DefaultCellSize is the base-grid bucket side.
+	DefaultCellSize = 0.5
+	// DefaultNearRadius is the exact-summation radius.
+	DefaultNearRadius = 1.5
+	// DefaultTheta is the HierEngine well-separatedness threshold θ: a
+	// pyramid node's aggregate is accepted when diameter/distance ≤ θ.
+	// Smaller is more accurate and slower; 0.5 keeps the measured
+	// disagreement against the exact Engine below GridEngine's (see
+	// TestHierEngineAgreement).
+	DefaultTheta = 0.5
+)
+
+// pyrLevel is one level of the far-field pyramid. Level 0 is the base
+// cell grid; level ℓ+1 aggregates 2×2 blocks of level ℓ. Per node the
+// level stores the aggregate transmit power and the power-weighted
+// coordinate sums, so a node's center of mass is (px/pow, py/pow).
+// Zero power marks a dead node; live lists the touched nodes so the
+// per-round reset is O(live), not O(cells).
+type pyrLevel struct {
+	cols, rows int
+	pow        []float64
+	px, py     []float64
+	live       []int32
+	// diam2 is the squared node diagonal (the well-separatedness
+	// numerator): (side·√2)² for nodes of side cellSize·2^ℓ.
+	diam2 float64
+}
+
+// pyrNode addresses one pyramid node during descent.
+type pyrNode struct {
+	lv  int32
+	idx int32
+}
+
+// HierEngine resolves rounds approximately for Euclidean networks with
+// a hierarchical far field: transmitters are bucketed into grid cells
+// (exactly like GridEngine), the cells are stacked into a power-of-two
+// pyramid whose nodes aggregate their children's transmit power at the
+// children's center of mass, and each receiver descends the pyramid
+// instead of scanning every live cell. A node's aggregate is accepted
+// when it is well separated from the receiver (node diameter / distance
+// ≤ θ) and does not touch the receiver's near-field box; otherwise the
+// descent recurses into its 2×2 children. Leaves inside the near box
+// stay exact per-transmitter, so decoding candidates are untouched —
+// approximation error only perturbs the far interference tail, and the
+// center-of-mass placement cancels the first-order term of that error
+// (GridEngine's fixed cell centers do not), which is why the measured
+// disagreement against the exact Engine is no worse than GridEngine's.
+//
+// Cost per round: O(|tx| + liveCells·log cells) to build the pyramid
+// and mark hot cells, then O(log cells) per receiver that can hear a
+// transmitter at all — receivers whose near box holds no transmitter
+// are rejected with a single table lookup. That is what makes
+// million-station rounds tractable: in a large sparse network most
+// stations are nowhere near a transmitter in any given round.
+//
+// Like the other engines, path loss goes through the specialized
+// Kernel, large rounds shard by receiver across the reusable worker
+// pool with byte-identical output for every worker count, and
+// ResolveFor restricts a round to a receiver subset. A HierEngine is
+// not safe for concurrent use by multiple goroutines.
+type HierEngine struct {
+	params   Params
+	kern     Kernel
+	pts      []geom.Point
+	cellSize float64
+	nearR2   float64
+	theta2   float64
+	// nearCells is the near-field box radius in cells (see GridEngine).
+	nearCells int
+
+	cols, rows int
+	minX, minY float64
+	cellOf     []int32
+	levels     []pyrLevel
+
+	workers      int
+	minParallelN int
+	par          shardRunner
+	shardFn      func(shard int)
+	shardForFn   func(shard int)
+
+	// per-round scratch
+	txInCell  [][]int32
+	liveCells []int32
+	// hot[c] marks base cells whose near box contains at least one live
+	// cell — equivalently, cells whose stations could possibly decode
+	// this round. hotList drives the O(hot) reset.
+	hot     []bool
+	hotList []int32
+	isTx    []bool
+	curRecv []int
+	out     []Reception
+}
+
+// NewHierEngine builds a hierarchical engine over Euclidean points.
+// cellSize is the base bucket side; nearRadius is the exact-summation
+// radius and must be ≥ 1 (the normalized communication range — the
+// candidate search only looks inside the near box, so the box must
+// cover every decodable transmitter); theta is the well-separatedness
+// threshold in (0, 1]. Grids beyond maxCellBlowup×n cells are rejected.
+func NewHierEngine(eu *geom.Euclidean, p Params, cellSize, nearRadius, theta float64) (*HierEngine, error) {
+	if err := p.Validate(eu.Growth()); err != nil {
+		return nil, err
+	}
+	if cellSize <= 0 {
+		return nil, fmt.Errorf("sinr: cellSize %v must be positive", cellSize)
+	}
+	if nearRadius < 1 {
+		return nil, fmt.Errorf("sinr: nearRadius %v must be >= 1 (the normalized communication range)", nearRadius)
+	}
+	if theta <= 0 || theta > 1 {
+		return nil, fmt.Errorf("sinr: theta %v must be in (0, 1]", theta)
+	}
+	pts := eu.Pts
+	n := len(pts)
+	cols, rows, minX, minY, err := gridDims(pts, cellSize)
+	if err != nil {
+		return nil, err
+	}
+	h := &HierEngine{
+		params:    p,
+		kern:      NewKernel(p.Alpha),
+		pts:       pts,
+		cellSize:  cellSize,
+		nearR2:    nearRadius * nearRadius,
+		theta2:    theta * theta,
+		nearCells: int(math.Ceil(nearRadius/cellSize)) + 1,
+		cols:      cols, rows: rows,
+		minX: minX, minY: minY,
+		workers:      resolveWorkers(0),
+		minParallelN: parallelCrossover,
+		cellOf:       make([]int32, n),
+		txInCell:     make([][]int32, cols*rows),
+		hot:          make([]bool, cols*rows),
+		isTx:         make([]bool, n),
+	}
+	for i, q := range pts {
+		h.cellOf[i] = int32(h.cellIndex(q))
+	}
+	// Stack levels until a single node covers the whole grid.
+	lc, lr := cols, rows
+	side := cellSize
+	for {
+		h.levels = append(h.levels, pyrLevel{
+			cols: lc, rows: lr,
+			pow:   make([]float64, lc*lr),
+			px:    make([]float64, lc*lr),
+			py:    make([]float64, lc*lr),
+			diam2: 2 * side * side,
+		})
+		if lc == 1 && lr == 1 {
+			break
+		}
+		lc = (lc + 1) / 2
+		lr = (lr + 1) / 2
+		side *= 2
+	}
+	return h, nil
+}
+
+func (h *HierEngine) cellIndex(q geom.Point) int {
+	cx := int((q.X - h.minX) / h.cellSize)
+	cy := int((q.Y - h.minY) / h.cellSize)
+	if cx < 0 {
+		cx = 0
+	} else if cx >= h.cols {
+		cx = h.cols - 1
+	}
+	if cy < 0 {
+		cy = 0
+	} else if cy >= h.rows {
+		cy = h.rows - 1
+	}
+	return cy*h.cols + cx
+}
+
+// N returns the number of stations.
+func (h *HierEngine) N() int { return len(h.pts) }
+
+// Params returns the physical parameters.
+func (h *HierEngine) Params() Params { return h.params }
+
+// Levels returns the pyramid height (for tests and diagnostics).
+func (h *HierEngine) Levels() int { return len(h.levels) }
+
+// SetWorkers sets how many goroutines Resolve may use; w ≤ 0 selects
+// runtime.GOMAXPROCS(0). Output is byte-identical for every count.
+func (h *HierEngine) SetWorkers(w int) { h.workers = resolveWorkers(w) }
+
+// aggregate buckets the transmitters into base cells, builds the
+// pyramid bottom-up over the live cells only, and marks the hot cells.
+// Total cost O(|tx| + live·(log cells + nearBox)).
+func (h *HierEngine) aggregate(tx []int) {
+	pw := h.params.Power()
+	l0 := &h.levels[0]
+	for _, t := range tx {
+		h.isTx[t] = true
+		c := h.cellOf[t]
+		if l0.pow[c] == 0 {
+			l0.live = append(l0.live, c)
+		}
+		q := h.pts[t]
+		l0.pow[c] += pw
+		l0.px[c] += pw * q.X
+		l0.py[c] += pw * q.Y
+		h.txInCell[c] = append(h.txInCell[c], int32(t))
+	}
+	h.liveCells = l0.live
+	// Propagate power and weighted positions up the pyramid: each live
+	// node adds its sums into its parent, appending the parent to the
+	// next level's live list on first touch.
+	for lv := 0; lv+1 < len(h.levels); lv++ {
+		cur, par := &h.levels[lv], &h.levels[lv+1]
+		for _, c := range cur.live {
+			cx, cy := int(c)%cur.cols, int(c)/cur.cols
+			pc := int32((cy/2)*par.cols + cx/2)
+			if par.pow[pc] == 0 {
+				par.live = append(par.live, pc)
+			}
+			par.pow[pc] += cur.pow[c]
+			par.px[pc] += cur.px[c]
+			par.py[pc] += cur.py[c]
+		}
+	}
+	// Hot cells: every base cell within the near box of a live cell. A
+	// receiver in a cold cell has no transmitter inside its near box,
+	// hence no decoding candidate within the communication range, hence
+	// nothing to resolve.
+	nc := h.nearCells
+	for _, c := range h.liveCells {
+		ccx, ccy := int(c)%h.cols, int(c)/h.cols
+		y0, y1 := max(ccy-nc, 0), min(ccy+nc, h.rows-1)
+		x0, x1 := max(ccx-nc, 0), min(ccx+nc, h.cols-1)
+		for cy := y0; cy <= y1; cy++ {
+			row := cy * h.cols
+			for cx := x0; cx <= x1; cx++ {
+				if !h.hot[row+cx] {
+					h.hot[row+cx] = true
+					h.hotList = append(h.hotList, int32(row+cx))
+				}
+			}
+		}
+	}
+}
+
+// reset clears all per-round aggregation in O(touched nodes).
+func (h *HierEngine) reset(tx []int) {
+	for _, c := range h.levels[0].live {
+		h.txInCell[c] = h.txInCell[c][:0]
+	}
+	for lv := range h.levels {
+		l := &h.levels[lv]
+		for _, c := range l.live {
+			l.pow[c] = 0
+			l.px[c] = 0
+			l.py[c] = 0
+		}
+		l.live = l.live[:0]
+	}
+	h.liveCells = nil
+	for _, c := range h.hotList {
+		h.hot[c] = false
+	}
+	h.hotList = h.hotList[:0]
+	for _, t := range tx {
+		h.isTx[t] = false
+	}
+}
+
+// Resolve computes receptions for one round (see Engine.Resolve for
+// semantics). The returned slice is owned by the engine and valid until
+// the next Resolve call.
+func (h *HierEngine) Resolve(tx []int) []Reception {
+	if len(tx) == 0 {
+		return nil
+	}
+	for _, t := range tx {
+		if t < 0 || t >= len(h.pts) {
+			panic(fmt.Sprintf("sinr: transmitter %d out of range [0,%d)", t, len(h.pts)))
+		}
+	}
+	h.aggregate(tx)
+
+	n := len(h.pts)
+	if h.workers > 1 && n >= h.minParallelN {
+		ensureRunner(&h.par, h, h.workers)
+		if h.shardFn == nil {
+			h.shardFn = h.runShard
+		}
+		h.out = h.par.runAndMerge(h.shardFn, h.out)
+	} else {
+		h.out = h.collectRange(0, n, h.out[:0])
+	}
+
+	h.reset(tx)
+	return h.out
+}
+
+// ResolveFor computes the receptions of one round restricted to the
+// given receivers: byte-identical to Resolve(tx) filtered to the
+// subset. receivers must be strictly increasing station indices.
+func (h *HierEngine) ResolveFor(tx []int, receivers []int) []Reception {
+	if len(tx) == 0 || len(receivers) == 0 {
+		return nil
+	}
+	checkReceivers(receivers, len(h.pts))
+	for _, t := range tx {
+		if t < 0 || t >= len(h.pts) {
+			panic(fmt.Sprintf("sinr: transmitter %d out of range [0,%d)", t, len(h.pts)))
+		}
+	}
+	h.aggregate(tx)
+
+	if h.workers > 1 && len(receivers) >= h.minParallelN {
+		ensureRunner(&h.par, h, h.workers)
+		if h.shardForFn == nil {
+			h.shardForFn = h.runShardFor
+		}
+		h.curRecv = receivers
+		h.out = h.par.runAndMerge(h.shardForFn, h.out)
+		h.curRecv = nil
+	} else {
+		h.out = h.collectList(receivers, h.out[:0])
+	}
+
+	h.reset(tx)
+	return h.out
+}
+
+// runShard collects the shard-th contiguous receiver range.
+func (h *HierEngine) runShard(shard int) {
+	lo, hi := h.par.shardRange(shard, len(h.pts))
+	h.par.shardOut[shard] = h.collectRange(lo, hi, h.par.shardOut[shard][:0])
+}
+
+// runShardFor collects the shard-th contiguous slice of the subset.
+func (h *HierEngine) runShardFor(shard int) {
+	lo, hi := h.par.shardRange(shard, len(h.curRecv))
+	h.par.shardOut[shard] = h.collectList(h.curRecv[lo:hi], h.par.shardOut[shard][:0])
+}
+
+func (h *HierEngine) collectRange(lo, hi int, dst []Reception) []Reception {
+	for u := lo; u < hi; u++ {
+		dst = h.collectOne(u, dst)
+	}
+	return dst
+}
+
+func (h *HierEngine) collectList(receivers []int, dst []Reception) []Reception {
+	for _, u := range receivers {
+		dst = h.collectOne(u, dst)
+	}
+	return dst
+}
+
+// collectOne resolves receiver u. Shared state is read-only here, so
+// shards run it concurrently; the descent order is fixed, so the
+// accumulated float sums — and hence the output — are identical for
+// every sharding.
+func (h *HierEngine) collectOne(u int, dst []Reception) []Reception {
+	uc := int(h.cellOf[u])
+	if !h.hot[uc] || h.isTx[u] {
+		return dst
+	}
+	p := h.params
+	pw := p.Power()
+	kern := h.kern
+	nc := h.nearCells
+	up := h.pts[u]
+	ucx := uc % h.cols
+	ucy := uc / h.cols
+
+	// Near field first: exact per-transmitter sums over the near box,
+	// which also finds the decoding candidate. If no candidate lies
+	// within the communication range the round is over for u and the
+	// far-field descent is skipped entirely.
+	total := 0.0
+	bestD2 := math.Inf(1)
+	best := int32(-1)
+	y0, y1 := max(ucy-nc, 0), min(ucy+nc, h.rows-1)
+	x0, x1 := max(ucx-nc, 0), min(ucx+nc, h.cols-1)
+	for cy := y0; cy <= y1; cy++ {
+		row := cy * h.cols
+		for cx := x0; cx <= x1; cx++ {
+			for _, t := range h.txInCell[row+cx] {
+				tp := h.pts[t]
+				dx, dy := up.X-tp.X, up.Y-tp.Y
+				d2 := dx*dx + dy*dy
+				total += pw * kern.FromDist2(d2)
+				if d2 < bestD2 {
+					bestD2 = d2
+					best = t
+				}
+			}
+		}
+	}
+	if best < 0 || bestD2 > 1 {
+		return dst
+	}
+
+	// Far field: descend the pyramid. A node is accepted (its aggregate
+	// power placed at its center of mass) when it does not intersect the
+	// near box and passes the θ test; level-0 cells outside the near box
+	// are always accepted — that is exactly GridEngine's leaf
+	// approximation, with the center of mass instead of the cell center.
+	total += h.farField(up, ucx, ucy)
+
+	s := pw * kern.FromDist2(bestD2)
+	intf := total - s
+	if intf < 0 {
+		intf = 0
+	}
+	if p.Decodes(s, intf) {
+		dst = append(dst, Reception{Receiver: u, Transmitter: int(best)})
+	}
+	return dst
+}
+
+// farField sums the approximated interference outside the near box of
+// the receiver at up (whose base cell is (ucx,ucy)) by descending the
+// pyramid from the root. The DFS stack is bounded by 3 pending siblings
+// per level; 4·levels slots leave slack for the root.
+func (h *HierEngine) farField(up geom.Point, ucx, ucy int) float64 {
+	kern := h.kern
+	theta2 := h.theta2
+	nc := h.nearCells
+	var stackBuf [160]pyrNode
+	stack := stackBuf[:0]
+	top := len(h.levels) - 1
+	if h.levels[top].pow[0] != 0 {
+		stack = append(stack, pyrNode{lv: int32(top), idx: 0})
+	}
+	sum := 0.0
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		lv := &h.levels[nd.lv]
+		nx, ny := int(nd.idx)%lv.cols, int(nd.idx)/lv.cols
+		// Base-cell extent of the node: [bx0, bx1] × [by0, by1].
+		shift := uint(nd.lv)
+		bx0, by0 := nx<<shift, ny<<shift
+		bx1, by1 := bx0+(1<<shift)-1, by0+(1<<shift)-1
+		outsideNear := bx0 > ucx+nc || bx1 < ucx-nc || by0 > ucy+nc || by1 < ucy-nc
+		if outsideNear {
+			pow := lv.pow[nd.idx]
+			dx := up.X - lv.px[nd.idx]/pow
+			dy := up.Y - lv.py[nd.idx]/pow
+			d2 := dx*dx + dy*dy
+			if nd.lv == 0 || lv.diam2 <= theta2*d2 {
+				sum += pow * kern.FromDist2(d2)
+				continue
+			}
+		} else if nd.lv == 0 {
+			continue // inside the near box: summed exactly already
+		}
+		// Recurse into the 2×2 children.
+		child := &h.levels[nd.lv-1]
+		cx0, cy0 := nx*2, ny*2
+		for dy := 0; dy < 2; dy++ {
+			for dx := 0; dx < 2; dx++ {
+				cx, cy := cx0+dx, cy0+dy
+				if cx >= child.cols || cy >= child.rows {
+					continue
+				}
+				ci := int32(cy*child.cols + cx)
+				if child.pow[ci] != 0 {
+					stack = append(stack, pyrNode{lv: nd.lv - 1, idx: ci})
+				}
+			}
+		}
+	}
+	return sum
+}

@@ -1,0 +1,186 @@
+package sinr
+
+import (
+	"fmt"
+	"testing"
+
+	"sinrcast/internal/geom"
+	"sinrcast/internal/rng"
+)
+
+// subsetResolver is the test-side view of the three engines.
+type subsetResolver interface {
+	Resolve(tx []int) []Reception
+	ResolveFor(tx []int, receivers []int) []Reception
+	SetWorkers(w int)
+}
+
+// testEngines builds all three engines over one scene.
+func testEngines(t *testing.T, scene *geom.Euclidean) map[string]subsetResolver {
+	t.Helper()
+	p := DefaultParams()
+	exact, err := NewEngine(scene, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := NewGridEngine(scene, p, DefaultCellSize, DefaultNearRadius)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := NewHierEngine(scene, p, DefaultCellSize, DefaultNearRadius, DefaultTheta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]subsetResolver{"exact": exact, "grid": grid, "hier": hier}
+}
+
+// randomSubset returns a sorted subset of [0,n) including each station
+// with probability p.
+func randomSubset(r *rng.Source, n int, p float64) []int {
+	var s []int
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(p) {
+			s = append(s, i)
+		}
+	}
+	return s
+}
+
+// filterReceptions keeps receptions whose receiver is in the subset.
+func filterReceptions(rec []Reception, subset []int) []Reception {
+	in := map[int]bool{}
+	for _, u := range subset {
+		in[u] = true
+	}
+	var out []Reception
+	for _, r := range rec {
+		if in[r.Receiver] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TestResolveForSubsetConsistency pins the ResolveFor contract on every
+// engine: ResolveFor(tx, S) must equal filter(Resolve(tx), S) exactly —
+// same receptions, same order — for random transmitter sets and random
+// subsets, including subsets containing transmitters, the empty subset
+// and the full range.
+func TestResolveForSubsetConsistency(t *testing.T) {
+	const n = 300
+	scene := randomScene(77, n, 9)
+	for name, eng := range testEngines(t, scene) {
+		t.Run(name, func(t *testing.T) {
+			eng.SetWorkers(1)
+			r := rng.New(1234)
+			for round := 0; round < 40; round++ {
+				tx := randomTxSet(r, n, 0.1)
+				subset := randomSubset(r, n, 0.3)
+				switch round {
+				case 0:
+					subset = nil
+				case 1:
+					subset = make([]int, n)
+					for i := range subset {
+						subset[i] = i
+					}
+				}
+				full := append([]Reception(nil), eng.Resolve(tx)...)
+				want := filterReceptions(full, subset)
+				got := eng.ResolveFor(tx, subset)
+				if len(want) != len(got) {
+					t.Fatalf("round %d: %d filtered vs %d subset receptions", round, len(want), len(got))
+				}
+				for i := range want {
+					if want[i] != got[i] {
+						t.Fatalf("round %d: reception %d: filtered %+v vs subset %+v", round, i, want[i], got[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestResolveForGenericSpace covers the exact engine's non-Euclidean
+// subset path (interface-dispatched distances).
+func TestResolveForGenericSpace(t *testing.T) {
+	n := 150
+	coords := make([]float64, n)
+	r := rng.New(3)
+	for i := range coords {
+		coords[i] = r.Range(0, 30)
+	}
+	e, err := NewEngine(geom.NewLine(coords), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetWorkers(1)
+	for round := 0; round < 25; round++ {
+		tx := randomTxSet(r, n, 0.15)
+		subset := randomSubset(r, n, 0.4)
+		want := filterReceptions(append([]Reception(nil), e.Resolve(tx)...), subset)
+		got := e.ResolveFor(tx, subset)
+		if len(want) != len(got) {
+			t.Fatalf("round %d: %d vs %d receptions", round, len(want), len(got))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("round %d: %+v vs %+v", round, want[i], got[i])
+			}
+		}
+	}
+}
+
+// TestResolveForIdenticalAcrossWorkers pins cross-worker
+// bit-determinism of the subset path on every engine: for any worker
+// count, ResolveFor output must be byte-identical to the serial run.
+func TestResolveForIdenticalAcrossWorkers(t *testing.T) {
+	const n = 400
+	scene := randomScene(55, n, 10)
+	serialEngines := testEngines(t, scene)
+	for _, workers := range []int{2, 5} {
+		parEngines := testEngines(t, scene)
+		for name, par := range parEngines {
+			serial := serialEngines[name]
+			serial.SetWorkers(1)
+			par.SetWorkers(workers)
+			switch e := par.(type) {
+			case *Engine:
+				e.minParallelN = 0
+			case *GridEngine:
+				e.minParallelN = 0
+			case *HierEngine:
+				e.minParallelN = 0
+			}
+			r := rng.New(uint64(workers) * 101)
+			for round := 0; round < 15; round++ {
+				tx := randomTxSet(r, n, 0.12)
+				subset := randomSubset(r, n, 0.5)
+				want := append([]Reception(nil), serial.ResolveFor(tx, subset)...)
+				got := par.ResolveFor(tx, subset)
+				diffReceptions(t, fmt.Sprintf("%s w=%d round=%d", name, workers, round), want, got)
+			}
+		}
+	}
+}
+
+// TestResolveForRejectsBadSubsets pins the subset validation: indices
+// out of range or not strictly increasing must panic like a bad
+// transmitter does.
+func TestResolveForRejectsBadSubsets(t *testing.T) {
+	scene := randomScene(9, 32, 4)
+	e, err := NewEngine(scene, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][]int{{-1, 2}, {5, 99}, {3, 3}, {4, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("want panic for subset %v", bad)
+				}
+			}()
+			e.ResolveFor([]int{0}, bad)
+		}()
+	}
+}

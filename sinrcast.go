@@ -110,6 +110,22 @@ func RunProtocol(net *Network, spec ProtocolSpec, seed uint64) (*BroadcastResult
 	return protocol.Run(net, spec, seed)
 }
 
+// RunProtocolOn is RunProtocol with a named physical engine: "exact"
+// (the paper's model — what RunProtocol uses), "grid", "hier" (the
+// hierarchical far-field engine for very large networks), or "auto"
+// (exact below a few thousand stations, grid at mid scale, hier
+// beyond). Approximate engines keep near-field interference and the
+// decoding candidate exact and aggregate only the far tail; see the
+// engine-selection notes in the README for the accuracy/speed
+// trade-offs.
+func RunProtocolOn(net *Network, spec ProtocolSpec, seed uint64, engine string) (*BroadcastResult, error) {
+	ch, err := protocol.NamedChannel(engine)
+	if err != nil {
+		return nil, err
+	}
+	return protocol.RunOn(net, spec, seed, ch)
+}
+
 // ProtocolNames returns the sorted names of every registered protocol.
 func ProtocolNames() []string { return protocol.Names() }
 
