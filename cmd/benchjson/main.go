@@ -154,20 +154,26 @@ func allSingleIteration(rep *Report) bool {
 	return true
 }
 
+// procSuffix is the trailing -GOMAXPROCS marker go test appends to
+// benchmark names on multi-proc runs (absent when GOMAXPROCS=1).
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
 // compare gates fresh results against a baseline report: every fresh
 // benchmark whose name matches filter and whose metric exists in both
-// reports must stay within (1+tolerance)× the baseline value. It
-// returns the number of comparisons made and the regressions found.
+// reports must stay within (1+tolerance)× the baseline value. Names
+// are matched with the -GOMAXPROCS suffix stripped, so a baseline
+// recorded on one core count gates runs on any other. It returns the
+// number of comparisons made and the regressions found.
 func compare(fresh, base *Report, filter *regexp.Regexp, metric string, tolerance float64, w io.Writer) (checked int, regressions int) {
 	baseline := make(map[string]Benchmark, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
-		baseline[b.Name] = b
+		baseline[procSuffix.ReplaceAllString(b.Name, "")] = b
 	}
 	for _, b := range fresh.Benchmarks {
 		if filter != nil && !filter.MatchString(b.Name) {
 			continue
 		}
-		old, ok := baseline[b.Name]
+		old, ok := baseline[procSuffix.ReplaceAllString(b.Name, "")]
 		if !ok {
 			continue
 		}

@@ -119,6 +119,19 @@ func TestCompare(t *testing.T) {
 	if checked, _ = compare(fresh, base, nil, "ns/round", 0.15, &strings.Builder{}); checked != 0 {
 		t.Fatalf("unknown bench: checked=%d, want 0", checked)
 	}
+
+	// The -GOMAXPROCS suffix is ignored when matching: a baseline
+	// recorded on one core count gates runs on any other.
+	fresh = &Report{Benchmarks: []Benchmark{mk("BenchmarkResolve/n=16384/alpha=2/serial-8", 1100)}}
+	checked, regressions = compare(fresh, base, nil, "ns/round", 0.15, &strings.Builder{})
+	if checked != 1 || regressions != 0 {
+		t.Fatalf("proc suffix: checked=%d regressions=%d, want 1/0", checked, regressions)
+	}
+	baseSuffixed := &Report{Benchmarks: []Benchmark{mk("BenchmarkResolve/n=16384/alpha=2/serial-16", 1000)}}
+	fresh = &Report{Benchmarks: []Benchmark{mk("BenchmarkResolve/n=16384/alpha=2/serial", 1300)}}
+	if _, regressions = compare(fresh, baseSuffixed, nil, "ns/round", 0.15, &strings.Builder{}); regressions != 1 {
+		t.Fatalf("proc suffix on baseline: regressions=%d, want 1", regressions)
+	}
 }
 
 func TestParseBenchEmptyInput(t *testing.T) {

@@ -19,7 +19,8 @@
 // "exact" (the paper's model and the default), the approximate "grid"
 // or "hier" engines, or "auto" (exact below a few thousand stations,
 // grid at mid scale, the hierarchical far field beyond — see the
-// engine-selection notes in the repository README).
+// engine-selection notes in the repository README). -cpuprofile and
+// -memprofile write pprof profiles of the run (internal/prof).
 //
 // Exit codes: 2 for usage errors — malformed or unknown specs,
 // out-of-range values against declared bounds, protocol parameters
@@ -35,6 +36,7 @@ import (
 	"fmt"
 	"os"
 
+	"sinrcast/internal/prof"
 	"sinrcast/internal/protocol"
 	"sinrcast/internal/scenario"
 	"sinrcast/internal/sinr"
@@ -56,6 +58,7 @@ func die(code int, format string, args ...any) {
 }
 
 func main() {
+	profiles := prof.AddFlags(flag.CommandLine)
 	var (
 		alg    = flag.String("alg", "nos", "protocol spec: name[:param=value,...]; see -list")
 		spec   = flag.String("scenario", "uniform:n=96", "scenario spec: family[:name=value,...]; see -list")
@@ -64,6 +67,16 @@ func main() {
 		list   = flag.Bool("list", false, "list registered protocols and scenario families with their parameters and exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiles.Start()
+	if err != nil {
+		die(exitUsage, "%v", err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "broadcast-sim: %v\n", err)
+		}
+	}()
 
 	if *list {
 		fmt.Print("protocols (-alg)\n\n")

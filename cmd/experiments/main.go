@@ -15,6 +15,7 @@
 //	experiments -only 12 -scenario annulus:n=96
 //	experiments -only 13 -alg nos:budgetmul=2 -scenario uniform:n=48
 //	experiments -only 14 -scale 0.01 -engine auto -trials 2
+//	experiments -only 14 -cpuprofile e14.pprof   # profile a run (internal/prof)
 //	experiments -list              # protocol and scenario catalogues
 package main
 
@@ -25,12 +26,14 @@ import (
 	"runtime"
 
 	"sinrcast/internal/exp"
+	"sinrcast/internal/prof"
 	"sinrcast/internal/protocol"
 	"sinrcast/internal/scenario"
 	"sinrcast/internal/stats"
 )
 
 func main() {
+	profiles := prof.AddFlags(flag.CommandLine)
 	var (
 		seed    = flag.Uint64("seed", 2014, "experiment seed")
 		trials  = flag.Int("trials", 5, "trials per data point")
@@ -48,6 +51,17 @@ func main() {
 		list = flag.Bool("list", false, "list registered protocols and scenario families and exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiles.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		}
+	}()
 
 	if *list {
 		fmt.Print("protocols (-alg)\n\n")

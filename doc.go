@@ -80,12 +80,25 @@
 //     tens of thousands of stations.
 //   - hier (sinr.HierEngine): the grid's cells stack into a
 //     power-of-two pyramid whose nodes hold aggregate power at their
-//     center of mass; each receiver descends the pyramid, accepting a
-//     node when its diameter/distance ratio is below θ (default 0.5 —
-//     the θ knob trades accuracy for speed) and recursing otherwise.
-//     O(log cells) per receiver, and receivers with no transmitter in
-//     their near field are rejected with one table lookup. Built for
-//     million-station rounds.
+//     center of mass, consumed through a θ-gated Barnes–Hut descent
+//     (default θ=0.5 — the knob trades accuracy for speed), and the
+//     hot path is amortized twice. Across receivers: the descent runs
+//     once per occupied 16×16-cell block — nodes accepted against the
+//     block rectangle's nearest point, a conservative and therefore
+//     strictly finer test — and every receiver in the block replays
+//     the accepted-node frontier as a flat slab scan, with the near
+//     field gathered once per block and summed exactly. Across
+//     rounds: aggregates persist between Resolve calls, and when
+//     consecutive sorted transmitter sets overlap, only changed cells
+//     and their O(Δ·log cells) ancestor chains recompute (canonical
+//     child-order sums make the incremental state bit-identical to a
+//     fresh build); beyond DefaultDeltaCrossover (50%) churn the
+//     round rebuilds from scratch, which a recorded decay trace shows
+//     costs nothing. Receivers with no transmitter in their near
+//     field are rejected with one table lookup, steady-state rounds
+//     are allocation-free, and SetFrontierMemo(false) /
+//     SetDeltaCrossover(0) expose the bit-identical slow reference
+//     paths for debugging. Built for million-station rounds.
 //
 // Both approximate engines keep near-field interference and the
 // decoding candidate exact, so approximation only perturbs the far

@@ -1,0 +1,77 @@
+// Package prof centralizes the pprof wiring of the CLIs so perf work
+// never hand-rolls it: one call registers -cpuprofile/-memprofile
+// flags, one call starts collection, and the returned stop function
+// finishes both profiles. Typical use:
+//
+//	profiles := prof.AddFlags(flag.CommandLine)
+//	flag.Parse()
+//	stop, err := profiles.Start()
+//	if err != nil { ... exit 2 ... }
+//	defer stop()
+//
+// Profiles are written on the normal return path; error paths that
+// os.Exit lose them, which is fine — a run that died is profiled with
+// the debugger, not pprof.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Config holds the profile destinations parsed from the flags.
+type Config struct {
+	cpuPath string
+	memPath string
+}
+
+// AddFlags registers -cpuprofile and -memprofile on fs (call before
+// fs.Parse). Empty values — the default — disable profiling entirely.
+func AddFlags(fs *flag.FlagSet) *Config {
+	c := &Config{}
+	fs.StringVar(&c.cpuPath, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&c.memPath, "memprofile", "", "write a heap profile to this file on exit")
+	return c
+}
+
+// Start begins CPU profiling if requested and returns the function
+// that finishes both profiles: it stops the CPU profile and writes the
+// heap profile (after a GC, so the snapshot shows live memory, not
+// garbage). stop is never nil and is safe to call exactly once.
+func (c *Config) Start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if c.cpuPath != "" {
+		cpuFile, err = os.Create(c.cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	memPath := c.memPath
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

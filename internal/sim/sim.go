@@ -184,7 +184,11 @@ func (e *Engine) SetTracer(tr Tracer) { e.tracer = tr }
 func (e *Engine) Round() int { return e.round }
 
 // Step executes exactly one round and returns the number of successful
-// receptions.
+// receptions. The transmitter set handed to the physical layer is in
+// ascending station order (stations tick in index order), and the
+// active-receiver subset is ascending too — the shape sinr.HierEngine's
+// cross-round delta path detects and exploits; protocol round loops get
+// incremental far-field aggregation without doing anything.
 func (e *Engine) Step() int {
 	t := e.round
 	e.txIDs = e.txIDs[:0]

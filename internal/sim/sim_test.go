@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -292,5 +293,152 @@ func TestCollisionNoDelivery(t *testing.T) {
 	}
 	if e.Metrics.Transmissions != 10 {
 		t.Fatalf("Transmissions = %d, want 10", e.Metrics.Transmissions)
+	}
+}
+
+// floodProto is a deterministic flood-like protocol for the delta
+// equivalence test: informed stations transmit on a fixed schedule,
+// stations become informed on first reception, and the runner
+// deactivates informed receivers — so the round loop alternates full
+// Resolve and shrinking ResolveFor calls, exactly the shape the hier
+// engine's cross-round delta path sees in production.
+type floodProto struct {
+	id       int
+	informed bool
+	at       int
+	eng      *Engine
+}
+
+func (f *floodProto) Tick(t int) (bool, Message) {
+	if f.informed && (t+f.id)%5 == 0 {
+		return true, Message{Kind: 2, A: int64(f.id)}
+	}
+	return false, Message{}
+}
+
+func (f *floodProto) Recv(t int, _ Message) {
+	if !f.informed {
+		f.informed = true
+		f.at = t
+		f.eng.SetReceiverActive(f.id, false)
+	}
+}
+
+// TestHierDeltaThroughSimEngine runs the full simulation round loop —
+// including receiver deactivation, so rounds alternate Resolve and
+// ResolveFor on monotonically shrinking subsets — over two hier
+// engines, one updating aggregates incrementally across rounds and one
+// rebuilding every round, with the physical layer of both wrapped in
+// RecordRounds. Inform times, metrics and the recorded round traces
+// must match exactly.
+func TestHierDeltaThroughSimEngine(t *testing.T) {
+	const n = 400
+	pts := make([]geom.Point, n)
+	// Deterministic spiral blob: dense center, sparse rim — several
+	// hops of flood progress within a handful of rounds.
+	for i := range pts {
+		r := 0.07 * float64(i%200)
+		a := 0.7 * float64(i)
+		pts[i] = geom.Point{X: r * math.Cos(a), Y: r * math.Sin(a)}
+	}
+	eu := geom.NewEuclidean(pts)
+	run := func(deltaCrossover float64) ([]int, Metrics, *RoundLog) {
+		phys, err := sinr.NewHierEngine(eu, sinr.DefaultParams(), sinr.DefaultCellSize, sinr.DefaultNearRadius, sinr.DefaultTheta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		phys.SetWorkers(1)
+		phys.SetDeltaCrossover(deltaCrossover)
+		log := &RoundLog{}
+		protos := make([]Protocol, n)
+		flood := make([]*floodProto, n)
+		for i := range protos {
+			flood[i] = &floodProto{id: i, at: -1}
+			protos[i] = flood[i]
+		}
+		e, err := NewEngine(RecordRounds(phys, log), protos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range flood {
+			flood[i].eng = e
+		}
+		flood[0].informed = true
+		flood[0].at = 0
+		e.SetReceiverActive(0, false)
+		e.Run(60, nil)
+		at := make([]int, n)
+		for i := range flood {
+			at[i] = flood[i].at
+		}
+		return at, e.Metrics, log
+	}
+	atD, mD, logD := run(sinr.DefaultDeltaCrossover)
+	atR, mR, logR := run(0) // rebuild every round
+	if mD != mR {
+		t.Fatalf("metrics diverge: delta %+v vs rebuild %+v", mD, mR)
+	}
+	informed := 0
+	for i := range atD {
+		if atD[i] != atR[i] {
+			t.Fatalf("station %d informed at %d (delta) vs %d (rebuild)", i, atD[i], atR[i])
+		}
+		if atD[i] >= 0 {
+			informed++
+		}
+	}
+	if informed < n/4 {
+		t.Fatalf("only %d/%d stations informed; flood too inert to exercise the delta path", informed, n)
+	}
+	if len(logD.Tx) != 60 || len(logR.Tx) != 60 {
+		t.Fatalf("recorded %d/%d rounds, want 60", len(logD.Tx), len(logR.Tx))
+	}
+	sawSubset := false
+	for r := range logD.Tx {
+		if !equalInts(logD.Tx[r], logR.Tx[r]) || !equalInts(logD.Recv[r], logR.Recv[r]) {
+			t.Fatalf("round %d traces diverge", r)
+		}
+		if logD.Recv[r] != nil {
+			sawSubset = true
+		}
+	}
+	if !sawSubset {
+		t.Fatal("no subset-resolved rounds recorded; deactivation plumbing broken")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRoundLogKeepsEmptySubset pins the nil-vs-empty distinction: a
+// round resolved for zero receivers (every station deactivated) must
+// not be recorded as a full resolution — replaying the trace would
+// otherwise resolve all n receivers for a round that cost nothing.
+func TestRoundLogKeepsEmptySubset(t *testing.T) {
+	phys, err := sinr.NewEngine(geom.NewEuclidean([]geom.Point{{X: 0, Y: 0}, {X: 0.5, Y: 0}}), sinr.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := &RoundLog{}
+	rec := RecordRounds(phys, log).(SubsetResolver)
+	rec.ResolveFor([]int{0}, []int{})
+	rec.Resolve([]int{0})
+	if log.Recv[0] == nil {
+		t.Fatal("empty subset recorded as nil (= full resolution)")
+	}
+	if len(log.Recv[0]) != 0 {
+		t.Fatalf("empty subset recorded as %v", log.Recv[0])
+	}
+	if log.Recv[1] != nil {
+		t.Fatalf("full round recorded as subset %v", log.Recv[1])
 	}
 }

@@ -61,3 +61,60 @@ func (m MultiTracer) OnRound(t int, tx []int, rec []sinr.Reception) {
 		tr.OnRound(t, tx, rec)
 	}
 }
+
+// RoundLog records the physical-layer rounds of a run: per resolved
+// round the transmitter set and, for subset rounds, the receiver
+// subset (nil for full resolution). Captured traces replay protocol-
+// realistic transmitter churn against an engine without re-running the
+// protocol — the cross-round benchmarks and the delta-path regression
+// gate are built on it.
+type RoundLog struct {
+	Tx   [][]int
+	Recv [][]int
+}
+
+func (l *RoundLog) record(tx, recv []int) {
+	l.Tx = append(l.Tx, append([]int(nil), tx...))
+	if recv == nil {
+		l.Recv = append(l.Recv, nil)
+	} else {
+		// Keep an empty subset distinguishable from nil (= full
+		// resolution): a round resolved for zero receivers is near
+		// free and must replay that way.
+		l.Recv = append(l.Recv, append(make([]int, 0, len(recv)), recv...))
+	}
+}
+
+// RecordRounds wraps phys so every Resolve/ResolveFor call of a run
+// appends its round to log. The wrapper preserves the subset-
+// resolution capability: if phys implements SubsetResolver the result
+// does too, so runners keep their active-receiver optimizations while
+// being traced.
+func RecordRounds(phys Resolver, log *RoundLog) Resolver {
+	if sub, ok := phys.(SubsetResolver); ok {
+		return &recordingSubsetResolver{recordingResolver{phys, log}, sub}
+	}
+	return &recordingResolver{phys, log}
+}
+
+type recordingResolver struct {
+	inner Resolver
+	log   *RoundLog
+}
+
+func (r *recordingResolver) Resolve(tx []int) []sinr.Reception {
+	r.log.record(tx, nil)
+	return r.inner.Resolve(tx)
+}
+
+func (r *recordingResolver) N() int { return r.inner.N() }
+
+type recordingSubsetResolver struct {
+	recordingResolver
+	sub SubsetResolver
+}
+
+func (r *recordingSubsetResolver) ResolveFor(tx []int, receivers []int) []sinr.Reception {
+	r.log.record(tx, receivers)
+	return r.sub.ResolveFor(tx, receivers)
+}

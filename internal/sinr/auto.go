@@ -73,8 +73,13 @@ const (
 //     error is not dominated by the tail;
 //   - otherwise small n stays exact (the exact engine is fast enough
 //     and is the paper's model), mid n takes the grid, and large n the
-//     hierarchy, whose per-receiver cost is logarithmic in the cell
-//     count.
+//     hierarchy, whose descent cost is logarithmic in the cell count
+//     and amortized across the receivers of a block (shared frontier)
+//     and across consecutive rounds (delta aggregation) — see the
+//     HierEngine cost model. The thresholds predate that amortization
+//     and are deliberately kept: E14's engine column is part of its
+//     committed output, and the exact engine remains the reference
+//     wherever it is affordable.
 func Choose(s geom.Space, p Params, acc Accuracy) EngineKind {
 	if _, ok := s.(*geom.Euclidean); !ok || acc == AccuracyExact {
 		return KindExact

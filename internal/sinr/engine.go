@@ -36,8 +36,13 @@ type Engine struct {
 	kern   Kernel
 	space  geom.Space
 	// pts is a fast-path cache of planar positions when the space is
-	// Euclidean; nil otherwise.
-	pts []geom.Point
+	// Euclidean; nil otherwise. ptsX/ptsY are the same coordinates as
+	// structure-of-arrays slabs — the accumulate inner loops stream
+	// through one coordinate axis at a time, and the slab layout keeps
+	// those streams dense in cache.
+	pts  []geom.Point
+	ptsX []float64
+	ptsY []float64
 
 	// workers is the resolved worker count; minParallelN is the
 	// receiver count below which rounds stay serial.
@@ -86,6 +91,11 @@ func NewEngine(s geom.Space, p Params) (*Engine, error) {
 	}
 	if eu, ok := s.(*geom.Euclidean); ok {
 		e.pts = eu.Pts
+		e.ptsX = make([]float64, n)
+		e.ptsY = make([]float64, n)
+		for i, q := range eu.Pts {
+			e.ptsX[i], e.ptsY[i] = q.X, q.Y
+		}
 	}
 	return e, nil
 }
@@ -220,13 +230,13 @@ func (e *Engine) accumulateEuclidean(tx []int, lo, hi int) {
 		e.bestD[u] = math.Inf(1)
 	}
 	for _, t := range tx {
-		tp := e.pts[t]
+		tx0, ty0 := e.ptsX[t], e.ptsY[t]
 		for u := lo; u < hi; u++ {
 			if e.isTx[u] {
 				continue
 			}
-			dx := e.pts[u].X - tp.X
-			dy := e.pts[u].Y - tp.Y
+			dx := e.ptsX[u] - tx0
+			dy := e.ptsY[u] - ty0
 			d2 := dx*dx + dy*dy
 			// d^-α evaluated from the squared distance: no sqrt, no Pow
 			// for the common exponents.
@@ -252,13 +262,13 @@ func (e *Engine) accumulateFor(tx []int, receivers []int) {
 	}
 	if e.pts != nil {
 		for _, t := range tx {
-			tp := e.pts[t]
+			tx0, ty0 := e.ptsX[t], e.ptsY[t]
 			for _, u := range receivers {
 				if e.isTx[u] {
 					continue
 				}
-				dx := e.pts[u].X - tp.X
-				dy := e.pts[u].Y - tp.Y
+				dx := e.ptsX[u] - tx0
+				dy := e.ptsY[u] - ty0
 				d2 := dx*dx + dy*dy
 				e.sig[u] += pw * kern.FromDist2(d2)
 				if d2 < e.bestD[u] {

@@ -1,0 +1,47 @@
+package sinr
+
+import "sinrcast/internal/geom"
+
+// Test-only hooks for the external (package sinr_test) test files:
+// in-package tests poke unexported fields directly, but the round-
+// sequence equivalence tests live outside the package so they can
+// build scenario-registry topologies (the scenario package imports
+// sinr, which would cycle in-package).
+
+// SetAlphaForTest swaps the path-loss exponent of a built engine, like
+// the benches' setBenchAlpha: α=2 fails Validate on the plane, but
+// only the kernel arithmetic is under test.
+func SetAlphaForTest(r Resolver, alpha float64) {
+	switch e := r.(type) {
+	case *Engine:
+		setBenchAlpha(&e.params, &e.kern, alpha)
+	case *GridEngine:
+		setBenchAlpha(&e.params, &e.kern, alpha)
+	case *HierEngine:
+		setBenchAlpha(&e.params, &e.kern, alpha)
+	default:
+		panic("SetAlphaForTest: unknown engine type")
+	}
+}
+
+// ForceParallelForTest drops the parallel crossover so tiny test
+// instances exercise the sharded path with the given worker count.
+func ForceParallelForTest(r Resolver, workers int) {
+	switch e := r.(type) {
+	case *Engine:
+		e.SetWorkers(workers)
+		e.minParallelN = 0
+	case *GridEngine:
+		e.SetWorkers(workers)
+		e.minParallelN = 0
+	case *HierEngine:
+		e.SetWorkers(workers)
+		e.minParallelN = 0
+	default:
+		panic("ForceParallelForTest: unknown engine type")
+	}
+}
+
+// BenchSceneForTest exposes the benches' constant-density scene
+// generator to the external bench files.
+func BenchSceneForTest(seed uint64, n int) *geom.Euclidean { return benchScene(seed, n) }

@@ -74,9 +74,13 @@ func gridDims(pts []geom.Point, cellSize float64) (cols, rows int, minX, minY fl
 // everywhere correctness matters; TestGridEngineAgreement measures the
 // disagreement rate against it.
 type GridEngine struct {
-	params   Params
-	kern     Kernel
-	pts      []geom.Point
+	params Params
+	kern   Kernel
+	pts    []geom.Point
+	// ptsX/ptsY are structure-of-arrays coordinate slabs of pts; the
+	// near-field inner loop streams them without loading Point structs.
+	ptsX     []float64
+	ptsY     []float64
 	cellSize float64
 	nearR2   float64
 	// nearCells is the near-field box radius in cells: the exact region
@@ -147,8 +151,11 @@ func NewGridEngine(eu *geom.Euclidean, p Params, cellSize, nearRadius float64) (
 		txInCell:     make([][]int32, cols*rows),
 		isTx:         make([]bool, n),
 	}
+	g.ptsX = make([]float64, n)
+	g.ptsY = make([]float64, n)
 	counts := make([]int32, cols*rows+1)
 	for i, q := range pts {
+		g.ptsX[i], g.ptsY[i] = q.X, q.Y
 		c := g.cellIndex(q)
 		g.cellOf[i] = int32(c)
 		counts[c+1]++
@@ -361,8 +368,7 @@ func (g *GridEngine) collectOne(u int, dst []Reception) []Reception {
 			}
 			c := cy*g.cols + cx
 			for _, t := range g.txInCell[c] {
-				tp := g.pts[t]
-				dx, dy := up.X-tp.X, up.Y-tp.Y
+				dx, dy := up.X-g.ptsX[t], up.Y-g.ptsY[t]
 				d2 := dx*dx + dy*dy
 				total += pw * kern.FromDist2(d2)
 				if d2 < bestD2 {

@@ -3,6 +3,7 @@ package sinr
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"sinrcast/internal/geom"
 )
@@ -24,19 +25,44 @@ const (
 	// disagreement against the exact Engine below GridEngine's (see
 	// TestHierEngineAgreement).
 	DefaultTheta = 0.5
+	// DefaultDeltaCrossover is the churn fraction above which a round
+	// abandons the incremental cross-round update and rebuilds its
+	// transmitter aggregation from scratch: with Δ = |departed| +
+	// |arrived| between consecutive rounds, the delta path runs while
+	// Δ ≤ crossover·(|prev| + |cur|). At 0.5 the delta path covers up
+	// to ~50% transmitter churn, where incremental ancestor recomputes
+	// and a full rebuild cost about the same (see the cost model in the
+	// package docs and BenchmarkHierResolveRounds).
+	DefaultDeltaCrossover = 0.5
+	// frontierBlock is the side, in cells, of the receiver blocks that
+	// share one far-field frontier and one near-field gather. One cell
+	// holds too few receivers to amortize a descent; a 16×16 block
+	// shares it across two orders of magnitude more receivers, and the
+	// frontier growth from the conservative θ test (measured from the
+	// block rectangle's nearest point) is more than paid for by
+	// replacing per-receiver tree walks with flat slab replays —
+	// measured on BenchmarkHierResolve/n=65536, block sides 4/8/16
+	// give 1.6×/2.8×/3.8× over the per-receiver descent, with
+	// diminishing returns (and a near box growing quadratically)
+	// beyond.
+	frontierBlock = 16
 )
 
 // pyrLevel is one level of the far-field pyramid. Level 0 is the base
 // cell grid; level ℓ+1 aggregates 2×2 blocks of level ℓ. Per node the
 // level stores the aggregate transmit power and the power-weighted
 // coordinate sums, so a node's center of mass is (px/pow, py/pow).
-// Zero power marks a dead node; live lists the touched nodes so the
-// per-round reset is O(live), not O(cells).
+// Zero power marks a dead node. live lists the nodes touched since the
+// last full reset (it may carry stale dead entries between delta
+// rounds; liveCount tracks the true live population and triggers
+// compaction); stamp/gen dedup node visits without O(cells) clears.
 type pyrLevel struct {
 	cols, rows int
 	pow        []float64
 	px, py     []float64
 	live       []int32
+	liveCount  int
+	stamp      []uint32
 	// diam2 is the squared node diagonal (the well-separatedness
 	// numerator): (side·√2)² for nodes of side cellSize·2^ℓ.
 	diam2 float64
@@ -48,37 +74,78 @@ type pyrNode struct {
 	idx int32
 }
 
+// hierChunk is the per-shard scratch of the frontier-memoized receiver
+// loop. Each shard processes whole receiver blocks: it gathers the
+// block's near-field transmitters once, builds the block's far-field
+// frontier once, and then resolves every receiver in the block against
+// those slabs. Buffers are reused across blocks and rounds, so
+// steady-state rounds allocate nothing.
+type hierChunk struct {
+	// Accepted-node frontier of the block being processed, in descent
+	// order: center-of-mass coordinates and aggregate power slabs the
+	// receivers replay as flat multiply-adds.
+	evX, evY, evP []float64
+	// Near-field gather of the block being processed: transmitter ids
+	// and coordinates in scan order over the block's union near box.
+	nearID       []int32
+	nearX, nearY []float64
+	// cachedBlock/cachedRound key the lazy per-receiver path of small
+	// ResolveFor subsets: consecutive receivers in one block reuse the
+	// gathered slabs.
+	cachedBlock int32
+	cachedRound uint32
+}
+
 // HierEngine resolves rounds approximately for Euclidean networks with
 // a hierarchical far field: transmitters are bucketed into grid cells
 // (exactly like GridEngine), the cells are stacked into a power-of-two
 // pyramid whose nodes aggregate their children's transmit power at the
-// children's center of mass, and each receiver descends the pyramid
-// instead of scanning every live cell. A node's aggregate is accepted
-// when it is well separated from the receiver (node diameter / distance
-// ≤ θ) and does not touch the receiver's near-field box; otherwise the
-// descent recurses into its 2×2 children. Leaves inside the near box
-// stay exact per-transmitter, so decoding candidates are untouched —
+// children's center of mass, and receivers consume the pyramid through
+// a Barnes–Hut descent. A node's aggregate is accepted when it is well
+// separated from the receiver (node diameter / distance ≤ θ) and does
+// not touch the receiver's near-field box; otherwise the descent
+// recurses into its 2×2 children. Leaves inside the near box stay
+// exact per-transmitter, so decoding candidates are untouched —
 // approximation error only perturbs the far interference tail, and the
-// center-of-mass placement cancels the first-order term of that error
-// (GridEngine's fixed cell centers do not), which is why the measured
-// disagreement against the exact Engine is no worse than GridEngine's.
+// center-of-mass placement cancels the first-order term of that error.
 //
-// Cost per round: O(|tx| + liveCells·log cells) to build the pyramid
-// and mark hot cells, then O(log cells) per receiver that can hear a
-// transmitter at all — receivers whose near box holds no transmitter
-// are rejected with a single table lookup. That is what makes
-// million-station rounds tractable: in a large sparse network most
-// stations are nowhere near a transmitter in any given round.
+// Two amortizations keep the hot path cheap:
+//
+//   - Across receivers (frontier memoization): the descent runs once
+//     per occupied block of frontierBlock×frontierBlock cells,
+//     classifying each node against the whole block rectangle —
+//     accepted only when θ holds at the rectangle's nearest point (so
+//     it holds for every receiver in the block), descended otherwise —
+//     and the near field is gathered once over the block's union near
+//     box, which every receiver sums exactly. The resulting
+//     accepted-node frontier is a flat structure-of-arrays slab every
+//     receiver in the block replays as pure multiply-adds; tree
+//     walking, extent arithmetic and the center-of-mass divisions are
+//     paid once per block instead of once per receiver. Both the
+//     conservative θ test and the enlarged exact region are strictly
+//     finer approximations than the per-receiver descent's, so the
+//     error can only shrink (TestHierEngineAgreement still bounds it
+//     by GridEngine's; measured, it drops by an order of magnitude).
+//
+//   - Across rounds (delta aggregation): aggregates persist between
+//     Resolve calls. When consecutive rounds' (sorted) transmitter
+//     sets differ by a small delta, only the dirty cells and their
+//     O(Δ·log cells) ancestor chains are recomputed — canonically,
+//     child-order sums, so incremental state is bit-identical to a
+//     from-scratch build — and the hot-cell table updates by counting.
+//     Beyond SetDeltaCrossover churn the round rebuilds from scratch.
 //
 // Like the other engines, path loss goes through the specialized
-// Kernel, large rounds shard by receiver across the reusable worker
-// pool with byte-identical output for every worker count, and
-// ResolveFor restricts a round to a receiver subset. A HierEngine is
-// not safe for concurrent use by multiple goroutines.
+// Kernel, large rounds shard across the reusable worker pool with
+// byte-identical output for every worker count, and ResolveFor
+// restricts a round to a receiver subset. A HierEngine is not safe for
+// concurrent use by multiple goroutines.
 type HierEngine struct {
 	params   Params
 	kern     Kernel
 	pts      []geom.Point
+	ptsX     []float64 // structure-of-arrays slabs of pts
+	ptsY     []float64
 	cellSize float64
 	nearR2   float64
 	theta2   float64
@@ -87,8 +154,25 @@ type HierEngine struct {
 
 	cols, rows int
 	minX, minY float64
-	cellOf     []int32
-	levels     []pyrLevel
+	// rectPad expands block rectangles during the shared descent so
+	// floating-point rounding in cell assignment can never place a
+	// boundary receiver outside its block's rectangle (padding only
+	// moves borderline nodes from accepted to descended — the safe
+	// direction).
+	rectPad float64
+	cellOf  []int32
+	// Receiver blocks: the plane is cut into frontierBlock-sized
+	// squares of cells; bcols×brows of them. blockItems[blockStart[b]:
+	// blockStart[b+1]] are block b's stations in ascending index order
+	// (a static CSR) — the memoized receiver loop walks blocks, not
+	// indices, so receivers of one block are resolved back to back
+	// against the block's shared slabs. blockStamp dedups per-round
+	// block visits.
+	bcols, brows int
+	blockStart   []int32
+	blockItems   []int32
+	blockStamp   []uint32
+	levels       []pyrLevel
 
 	workers      int
 	minParallelN int
@@ -96,17 +180,48 @@ type HierEngine struct {
 	shardFn      func(shard int)
 	shardForFn   func(shard int)
 
-	// per-round scratch
-	txInCell  [][]int32
-	liveCells []int32
-	// hot[c] marks base cells whose near box contains at least one live
-	// cell — equivalently, cells whose stations could possibly decode
-	// this round. hotList drives the O(hot) reset.
-	hot     []bool
-	hotList []int32
-	isTx    []bool
-	curRecv []int
-	out     []Reception
+	// Tuning knobs (see SetFrontierMemo / SetDeltaCrossover).
+	memo           bool
+	deltaCrossover float64
+
+	// Cross-round transmitter aggregation state. Unlike the other
+	// engines this is NOT scratch: it persists between rounds so the
+	// delta path can update it incrementally.
+	txInCell [][]int32
+	// hotCnt[c] counts live cells whose near box covers base cell c; a
+	// receiver in a cell with count 0 has no transmitter in range and
+	// is rejected without any work. hotList holds cells that have been
+	// hot since the last reset (stale entries are filtered on use).
+	hotCnt   []int32
+	hotList  []int32
+	hotCount int
+	isTx     []bool
+	prevTx   []int
+	// prevSorted records whether prevTx was strictly increasing — the
+	// precondition for the sorted-merge delta diff and for per-cell
+	// transmitter lists being in ascending (= canonical) order.
+	prevSorted bool
+	haveRound  bool
+	gen        uint32
+	roundGen   uint32
+
+	// Delta scratch, reused across rounds.
+	gone       []bool
+	departed   []int
+	arrived    []int
+	dirtyCells []int32
+	dirtyOrd   []int32
+	dirtyGen   []uint32
+	arrivalBuf [][]int32
+	mergeBuf   []int32
+	dirtyNodes [2][]int32
+
+	// Per-round receiver-side scratch.
+	workList []int32
+	curRecv  []int
+	recvMask []bool
+	chunks   []hierChunk
+	out      []Reception
 }
 
 // NewHierEngine builds a hierarchical engine over Euclidean points.
@@ -138,21 +253,51 @@ func NewHierEngine(eu *geom.Euclidean, p Params, cellSize, nearRadius, theta flo
 		params:    p,
 		kern:      NewKernel(p.Alpha),
 		pts:       pts,
+		ptsX:      make([]float64, n),
+		ptsY:      make([]float64, n),
 		cellSize:  cellSize,
 		nearR2:    nearRadius * nearRadius,
 		theta2:    theta * theta,
 		nearCells: int(math.Ceil(nearRadius/cellSize)) + 1,
 		cols:      cols, rows: rows,
 		minX: minX, minY: minY,
-		workers:      resolveWorkers(0),
-		minParallelN: parallelCrossover,
-		cellOf:       make([]int32, n),
-		txInCell:     make([][]int32, cols*rows),
-		hot:          make([]bool, cols*rows),
-		isTx:         make([]bool, n),
+		workers:        resolveWorkers(0),
+		minParallelN:   parallelCrossover,
+		memo:           true,
+		deltaCrossover: DefaultDeltaCrossover,
+		cellOf:         make([]int32, n),
+		txInCell:       make([][]int32, cols*rows),
+		hotCnt:         make([]int32, cols*rows),
+		isTx:           make([]bool, n),
+		gone:           make([]bool, n),
+		dirtyOrd:       make([]int32, cols*rows),
+		dirtyGen:       make([]uint32, cols*rows),
 	}
+	span := math.Abs(minX) + math.Abs(minY) + (float64(cols)+float64(rows))*cellSize
+	h.rectPad = 1e-12 * (span + 1)
 	for i, q := range pts {
+		h.ptsX[i], h.ptsY[i] = q.X, q.Y
 		h.cellOf[i] = int32(h.cellIndex(q))
+	}
+	// Static station CSR by receiver block (counting sort).
+	h.bcols = (cols + frontierBlock - 1) / frontierBlock
+	h.brows = (rows + frontierBlock - 1) / frontierBlock
+	nBlocks := h.bcols * h.brows
+	h.blockStamp = make([]uint32, nBlocks)
+	counts := make([]int32, nBlocks+1)
+	for _, c := range h.cellOf {
+		counts[h.blockOfCell(c)+1]++
+	}
+	for b := 1; b <= nBlocks; b++ {
+		counts[b] += counts[b-1]
+	}
+	h.blockStart = counts
+	h.blockItems = make([]int32, n)
+	fill := make([]int32, nBlocks)
+	for i := range pts {
+		b := h.blockOfCell(h.cellOf[i])
+		h.blockItems[h.blockStart[b]+fill[b]] = int32(i)
+		fill[b]++
 	}
 	// Stack levels until a single node covers the whole grid.
 	lc, lr := cols, rows
@@ -163,6 +308,7 @@ func NewHierEngine(eu *geom.Euclidean, p Params, cellSize, nearRadius, theta flo
 			pow:   make([]float64, lc*lr),
 			px:    make([]float64, lc*lr),
 			py:    make([]float64, lc*lr),
+			stamp: make([]uint32, lc*lr),
 			diam2: 2 * side * side,
 		})
 		if lc == 1 && lr == 1 {
@@ -173,6 +319,21 @@ func NewHierEngine(eu *geom.Euclidean, p Params, cellSize, nearRadius, theta flo
 		side *= 2
 	}
 	return h, nil
+}
+
+// blockOfCell maps a base cell to its receiver block.
+func (h *HierEngine) blockOfCell(c int32) int32 {
+	cx, cy := int(c)%h.cols, int(c)/h.cols
+	return int32(cy/frontierBlock*h.bcols + cx/frontierBlock)
+}
+
+// blockCellRange returns block b's base-cell extent [x0,x1]×[y0,y1].
+func (h *HierEngine) blockCellRange(b int32) (x0, y0, x1, y1 int) {
+	bx, by := int(b)%h.bcols, int(b)/h.bcols
+	x0, y0 = bx*frontierBlock, by*frontierBlock
+	x1 = min(x0+frontierBlock-1, h.cols-1)
+	y1 = min(y0+frontierBlock-1, h.rows-1)
+	return
 }
 
 func (h *HierEngine) cellIndex(q geom.Point) int {
@@ -204,64 +365,140 @@ func (h *HierEngine) Levels() int { return len(h.levels) }
 // runtime.GOMAXPROCS(0). Output is byte-identical for every count.
 func (h *HierEngine) SetWorkers(w int) { h.workers = resolveWorkers(w) }
 
-// aggregate buckets the transmitters into base cells, builds the
-// pyramid bottom-up over the live cells only, and marks the hot cells.
-// Total cost O(|tx| + live·(log cells + nearBox)).
-func (h *HierEngine) aggregate(tx []int) {
+// SetFrontierMemo toggles the shared per-cell frontier (on by
+// default). Off, every receiver descends the pyramid from the root on
+// its own — the slower reference path, bit-identical to the memoized
+// one; the equivalence property tests pin the two against each other,
+// and turning the memo off is the first debugging step when a hier
+// result looks suspect.
+func (h *HierEngine) SetFrontierMemo(on bool) { h.memo = on }
+
+// SetDeltaCrossover sets the churn fraction up to which consecutive
+// rounds update transmitter aggregates incrementally instead of
+// rebuilding (see DefaultDeltaCrossover); f ≤ 0 disables the delta
+// path entirely, forcing a full rebuild every round — the debugging
+// reference, bit-identical to the incremental path.
+func (h *HierEngine) SetDeltaCrossover(f float64) {
+	h.deltaCrossover = f
+}
+
+// --- Round aggregation (fresh, delta, reset) ---------------------------
+
+// recomputeCell recomputes cell c's level-0 aggregate from its
+// transmitter list, in list order. With a sorted transmitter round the
+// list is ascending, so the sums are canonical: a delta-maintained list
+// accumulates bit-identically to a from-scratch bucketing.
+func (h *HierEngine) recomputeCell(c int32) {
 	pw := h.params.Power()
 	l0 := &h.levels[0]
-	for _, t := range tx {
-		h.isTx[t] = true
-		c := h.cellOf[t]
-		if l0.pow[c] == 0 {
-			l0.live = append(l0.live, c)
-		}
-		q := h.pts[t]
-		l0.pow[c] += pw
-		l0.px[c] += pw * q.X
-		l0.py[c] += pw * q.Y
-		h.txInCell[c] = append(h.txInCell[c], int32(t))
+	pow, px, py := 0.0, 0.0, 0.0
+	for _, t := range h.txInCell[c] {
+		pow += pw
+		px += pw * h.ptsX[t]
+		py += pw * h.ptsY[t]
 	}
-	h.liveCells = l0.live
-	// Propagate power and weighted positions up the pyramid: each live
-	// node adds its sums into its parent, appending the parent to the
-	// next level's live list on first touch.
-	for lv := 0; lv+1 < len(h.levels); lv++ {
-		cur, par := &h.levels[lv], &h.levels[lv+1]
-		for _, c := range cur.live {
-			cx, cy := int(c)%cur.cols, int(c)/cur.cols
-			pc := int32((cy/2)*par.cols + cx/2)
-			if par.pow[pc] == 0 {
-				par.live = append(par.live, pc)
+	l0.pow[c] = pow
+	l0.px[c] = px
+	l0.py[c] = py
+}
+
+// recomputeNode recomputes one upper-level node from its ≤4 children in
+// fixed child order (dead children contribute exact zeros), so the
+// value depends only on the children's aggregates — never on the order
+// rounds or deltas touched them.
+func (h *HierEngine) recomputeNode(lv int, idx int32) {
+	cur := &h.levels[lv]
+	child := &h.levels[lv-1]
+	nx, ny := int(idx)%cur.cols, int(idx)/cur.cols
+	cx0, cy0 := nx*2, ny*2
+	pow, px, py := 0.0, 0.0, 0.0
+	for dy := 0; dy < 2; dy++ {
+		cy := cy0 + dy
+		if cy >= child.rows {
+			continue
+		}
+		for dx := 0; dx < 2; dx++ {
+			cx := cx0 + dx
+			if cx >= child.cols {
+				continue
 			}
-			par.pow[pc] += cur.pow[c]
-			par.px[pc] += cur.px[c]
-			par.py[pc] += cur.py[c]
+			ci := cy*child.cols + cx
+			pow += child.pow[ci]
+			px += child.px[ci]
+			py += child.py[ci]
 		}
 	}
-	// Hot cells: every base cell within the near box of a live cell. A
-	// receiver in a cold cell has no transmitter inside its near box,
-	// hence no decoding candidate within the communication range, hence
-	// nothing to resolve.
+	cur.pow[idx] = pow
+	cur.px[idx] = px
+	cur.py[idx] = py
+}
+
+// bumpHot adds d (±1) to the hot count of every base cell in the near
+// box of live cell c, tracking first-hot transitions.
+func (h *HierEngine) bumpHot(c int32, d int32) {
 	nc := h.nearCells
-	for _, c := range h.liveCells {
-		ccx, ccy := int(c)%h.cols, int(c)/h.cols
-		y0, y1 := max(ccy-nc, 0), min(ccy+nc, h.rows-1)
-		x0, x1 := max(ccx-nc, 0), min(ccx+nc, h.cols-1)
-		for cy := y0; cy <= y1; cy++ {
-			row := cy * h.cols
-			for cx := x0; cx <= x1; cx++ {
-				if !h.hot[row+cx] {
-					h.hot[row+cx] = true
-					h.hotList = append(h.hotList, int32(row+cx))
-				}
+	ccx, ccy := int(c)%h.cols, int(c)/h.cols
+	y0, y1 := max(ccy-nc, 0), min(ccy+nc, h.rows-1)
+	x0, x1 := max(ccx-nc, 0), min(ccx+nc, h.cols-1)
+	for cy := y0; cy <= y1; cy++ {
+		row := cy * h.cols
+		for cx := x0; cx <= x1; cx++ {
+			i := row + cx
+			was := h.hotCnt[i]
+			h.hotCnt[i] = was + d
+			if d > 0 && was == 0 {
+				h.hotList = append(h.hotList, int32(i))
+				h.hotCount++
+			} else if d < 0 && was == 1 {
+				h.hotCount--
 			}
 		}
 	}
 }
 
-// reset clears all per-round aggregation in O(touched nodes).
-func (h *HierEngine) reset(tx []int) {
+// aggregateFresh builds the full aggregation state of a round from
+// scratch: bucket transmitters into cells, compute canonical per-cell
+// and per-node sums bottom-up over live nodes only, and count hot
+// cells. Cost O(|tx| + live·(log cells + nearBox²)).
+func (h *HierEngine) aggregateFresh(tx []int) {
+	l0 := &h.levels[0]
+	for _, t := range tx {
+		h.isTx[t] = true
+		c := h.cellOf[t]
+		if len(h.txInCell[c]) == 0 {
+			l0.live = append(l0.live, c)
+		}
+		h.txInCell[c] = append(h.txInCell[c], int32(t))
+	}
+	for _, c := range l0.live {
+		h.recomputeCell(c)
+	}
+	l0.liveCount = len(l0.live)
+	for lv := 0; lv+1 < len(h.levels); lv++ {
+		cur, par := &h.levels[lv], &h.levels[lv+1]
+		h.gen++
+		for _, c := range cur.live {
+			ncx, ncy := int(c)%cur.cols/2, int(c)/cur.cols/2
+			pc := int32(ncy*par.cols + ncx)
+			if par.stamp[pc] != h.gen {
+				par.stamp[pc] = h.gen
+				par.live = append(par.live, pc)
+			}
+		}
+		for _, pc := range par.live {
+			h.recomputeNode(lv+1, pc)
+		}
+		par.liveCount = len(par.live)
+	}
+	for _, c := range l0.live {
+		h.bumpHot(c, +1)
+	}
+	h.haveRound = true
+}
+
+// resetRound clears all aggregation state in O(touched nodes), leaving
+// the engine as if no round had run.
+func (h *HierEngine) resetRound() {
 	for _, c := range h.levels[0].live {
 		h.txInCell[c] = h.txInCell[c][:0]
 	}
@@ -273,43 +510,317 @@ func (h *HierEngine) reset(tx []int) {
 			l.py[c] = 0
 		}
 		l.live = l.live[:0]
+		l.liveCount = 0
 	}
-	h.liveCells = nil
 	for _, c := range h.hotList {
-		h.hot[c] = false
+		h.hotCnt[c] = 0
 	}
 	h.hotList = h.hotList[:0]
-	for _, t := range tx {
+	h.hotCount = 0
+	for _, t := range h.prevTx {
 		h.isTx[t] = false
+	}
+	h.haveRound = false
+}
+
+// diffSorted fills h.departed (in prev, not in cur) and h.arrived (in
+// cur, not in prev) from the two strictly increasing rounds.
+func (h *HierEngine) diffSorted(prev, cur []int) {
+	h.departed = h.departed[:0]
+	h.arrived = h.arrived[:0]
+	i, j := 0, 0
+	for i < len(prev) && j < len(cur) {
+		switch {
+		case prev[i] == cur[j]:
+			i++
+			j++
+		case prev[i] < cur[j]:
+			h.departed = append(h.departed, prev[i])
+			i++
+		default:
+			h.arrived = append(h.arrived, cur[j])
+			j++
+		}
+	}
+	h.departed = append(h.departed, prev[i:]...)
+	h.arrived = append(h.arrived, cur[j:]...)
+}
+
+// dirtyCell registers base cell c in the round's dirty set, returning
+// its ordinal (with an empty arrival bucket ready).
+func (h *HierEngine) dirtyCell(c int32) int32 {
+	if h.dirtyGen[c] == h.gen {
+		return h.dirtyOrd[c]
+	}
+	ord := int32(len(h.dirtyCells))
+	h.dirtyGen[c] = h.gen
+	h.dirtyOrd[c] = ord
+	h.dirtyCells = append(h.dirtyCells, c)
+	if int(ord) < len(h.arrivalBuf) {
+		h.arrivalBuf[ord] = h.arrivalBuf[ord][:0]
+	} else {
+		h.arrivalBuf = append(h.arrivalBuf, nil)
+	}
+	return ord
+}
+
+// applyDelta updates the persisted aggregation incrementally from the
+// departed/arrived diff: dirty cells rebuild their (ascending)
+// transmitter lists by a filter-merge and recompute canonically, hot
+// counts adjust only around liveness transitions, and each dirty
+// ancestor chain recomputes from its children — bit-identical to a
+// fresh build, in O(Δ·(cellPop + log cells + transitions·nearBox²)).
+func (h *HierEngine) applyDelta() {
+	l0 := &h.levels[0]
+	h.gen++
+	h.dirtyCells = h.dirtyCells[:0]
+	for _, t := range h.departed {
+		h.isTx[t] = false
+		h.gone[t] = true
+		h.dirtyCell(h.cellOf[t])
+	}
+	for _, t := range h.arrived {
+		h.isTx[t] = true
+		ord := h.dirtyCell(h.cellOf[t])
+		h.arrivalBuf[ord] = append(h.arrivalBuf[ord], int32(t))
+	}
+	for ord, c := range h.dirtyCells {
+		wasLive := len(h.txInCell[c]) > 0
+		h.mergeCellList(c, h.arrivalBuf[ord])
+		h.recomputeCell(c)
+		nowLive := len(h.txInCell[c]) > 0
+		if nowLive != wasLive {
+			if nowLive {
+				l0.live = append(l0.live, c)
+				l0.liveCount++
+				h.bumpHot(c, +1)
+			} else {
+				l0.liveCount--
+				h.bumpHot(c, -1)
+			}
+		}
+	}
+	for _, t := range h.departed {
+		h.gone[t] = false
+	}
+	// Propagate dirty ancestor chains, one dedup context per level.
+	cur := h.dirtyCells
+	for lv := 0; lv+1 < len(h.levels); lv++ {
+		clv, par := &h.levels[lv], &h.levels[lv+1]
+		h.gen++
+		next := h.dirtyNodes[lv%2][:0]
+		for _, c := range cur {
+			ncx, ncy := int(c)%clv.cols/2, int(c)/clv.cols/2
+			pc := int32(ncy*par.cols + ncx)
+			if par.stamp[pc] != h.gen {
+				par.stamp[pc] = h.gen
+				next = append(next, pc)
+			}
+		}
+		for _, pc := range next {
+			was := par.pow[pc] != 0
+			h.recomputeNode(lv+1, pc)
+			if now := par.pow[pc] != 0; now != was {
+				if now {
+					par.live = append(par.live, pc)
+					par.liveCount++
+				} else {
+					par.liveCount--
+				}
+			}
+		}
+		h.dirtyNodes[lv%2] = next
+		cur = next
 	}
 }
 
-// Resolve computes receptions for one round (see Engine.Resolve for
-// semantics). The returned slice is owned by the engine and valid until
-// the next Resolve call.
-func (h *HierEngine) Resolve(tx []int) []Reception {
-	if len(tx) == 0 {
-		return nil
+// mergeCellList rebuilds cell c's transmitter list: survivors of the
+// old list (ascending) merged with the cell's arrivals (ascending),
+// preserving the canonical ascending order a fresh sorted-round
+// bucketing would produce.
+func (h *HierEngine) mergeCellList(c int32, arrived []int32) {
+	old := h.txInCell[c]
+	h.mergeBuf = h.mergeBuf[:0]
+	i, j := 0, 0
+	for i < len(old) {
+		t := old[i]
+		if h.gone[t] {
+			i++
+			continue
+		}
+		for j < len(arrived) && arrived[j] < t {
+			h.mergeBuf = append(h.mergeBuf, arrived[j])
+			j++
+		}
+		h.mergeBuf = append(h.mergeBuf, t)
+		i++
 	}
+	h.mergeBuf = append(h.mergeBuf, arrived[j:]...)
+	h.txInCell[c] = append(old[:0], h.mergeBuf...)
+}
+
+// compactLists drops stale dead entries (and duplicates) that long
+// delta streaks accumulate in the live and hot lists, whenever a list
+// outgrows twice its live population.
+func (h *HierEngine) compactLists() {
+	for lv := range h.levels {
+		l := &h.levels[lv]
+		if len(l.live) <= 2*l.liveCount+16 {
+			continue
+		}
+		h.gen++
+		keep := l.live[:0]
+		for _, c := range l.live {
+			if l.pow[c] != 0 && l.stamp[c] != h.gen {
+				l.stamp[c] = h.gen
+				keep = append(keep, c)
+			}
+		}
+		l.live = keep
+	}
+	if len(h.hotList) > 2*h.hotCount+16 {
+		h.gen++
+		l0 := &h.levels[0]
+		keep := h.hotList[:0]
+		for _, c := range h.hotList {
+			if h.hotCnt[c] > 0 && l0.stamp[c] != h.gen {
+				l0.stamp[c] = h.gen
+				keep = append(keep, c)
+			}
+		}
+		h.hotList = keep
+	}
+}
+
+// prepareRound brings the aggregation state up to date for round tx:
+// the delta path when the previous and current rounds are both sorted
+// and the churn is below the crossover, a reset + fresh build
+// otherwise. Either way the resulting state is bit-identical.
+func (h *HierEngine) prepareRound(tx []int) {
+	h.roundGen++
+	// Generation counters wrap after ~10⁸ rounds; clear every stamp
+	// array then so a stale stamp can never collide with a fresh
+	// generation.
+	if h.gen > math.MaxUint32-64 || h.roundGen == math.MaxUint32 {
+		for lv := range h.levels {
+			clear(h.levels[lv].stamp)
+		}
+		clear(h.blockStamp)
+		clear(h.dirtyGen)
+		h.gen, h.roundGen = 0, 1
+		for i := range h.chunks {
+			h.chunks[i].cachedBlock = -1
+		}
+	}
+	sorted := isStrictlyIncreasing(tx)
+	if h.haveRound && h.prevSorted && sorted && h.deltaCrossover > 0 {
+		h.diffSorted(h.prevTx, tx)
+		churn := len(h.departed) + len(h.arrived)
+		if float64(churn) <= h.deltaCrossover*float64(len(h.prevTx)+len(tx)) {
+			h.compactLists()
+			h.applyDelta()
+			h.recordPrev(tx, sorted)
+			return
+		}
+	}
+	if h.haveRound {
+		h.resetRound()
+	}
+	h.aggregateFresh(tx)
+	h.recordPrev(tx, sorted)
+}
+
+func (h *HierEngine) recordPrev(tx []int, sorted bool) {
+	h.prevTx = append(h.prevTx[:0], tx...)
+	h.prevSorted = sorted
+}
+
+func isStrictlyIncreasing(tx []int) bool {
+	for i := 1; i < len(tx); i++ {
+		if tx[i] <= tx[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- Resolution --------------------------------------------------------
+
+func (h *HierEngine) checkTx(tx []int) {
 	for _, t := range tx {
 		if t < 0 || t >= len(h.pts) {
 			panic(fmt.Sprintf("sinr: transmitter %d out of range [0,%d)", t, len(h.pts)))
 		}
 	}
-	h.aggregate(tx)
+}
+
+// buildWorkList collects the round's occupied hot blocks — the only
+// blocks whose stations can decode anything (stations in cold cells of
+// a listed block are still skipped individually).
+func (h *HierEngine) buildWorkList() {
+	h.workList = h.workList[:0]
+	h.gen++
+	for _, c := range h.hotList {
+		if h.hotCnt[c] == 0 {
+			continue
+		}
+		b := h.blockOfCell(c)
+		if h.blockStart[b+1] > h.blockStart[b] && h.blockStamp[b] != h.gen {
+			h.blockStamp[b] = h.gen
+			h.workList = append(h.workList, b)
+		}
+	}
+}
+
+func (h *HierEngine) ensureChunks(n int) {
+	for len(h.chunks) < n {
+		h.chunks = append(h.chunks, hierChunk{cachedBlock: -1})
+	}
+}
+
+// Resolve computes receptions for one round (see Engine.Resolve for
+// semantics). The returned slice is owned by the engine and valid
+// until the next Resolve call. Aggregation state persists across calls
+// so consecutive rounds with overlapping transmitter sets resolve
+// incrementally; results are bit-identical to a fresh engine's.
+func (h *HierEngine) Resolve(tx []int) []Reception {
+	if len(tx) == 0 {
+		return nil
+	}
+	h.checkTx(tx)
+	h.prepareRound(tx)
 
 	n := len(h.pts)
+	if !h.memo {
+		if h.workers > 1 && n >= h.minParallelN {
+			ensureRunner(&h.par, h, h.workers)
+			if h.shardFn == nil {
+				h.shardFn = h.runShard
+			}
+			h.out = h.par.runAndMerge(h.shardFn, h.out)
+		} else {
+			h.out = h.collectRange(0, n, h.out[:0])
+		}
+		return h.out
+	}
+
+	h.buildWorkList()
 	if h.workers > 1 && n >= h.minParallelN {
 		ensureRunner(&h.par, h, h.workers)
+		h.ensureChunks(h.par.pool.workers)
 		if h.shardFn == nil {
 			h.shardFn = h.runShard
 		}
 		h.out = h.par.runAndMerge(h.shardFn, h.out)
 	} else {
-		h.out = h.collectRange(0, n, h.out[:0])
+		h.ensureChunks(1)
+		h.out = h.collectBlocks(&h.chunks[0], h.workList, nil, h.out[:0])
 	}
-
-	h.reset(tx)
+	// Cell-ordered collection emits receptions grouped by receiver
+	// cell; sort back to the ascending receiver order every engine
+	// guarantees. Receivers are unique keys, so the order is total —
+	// identical for any worker count and to the unmemoized path.
+	slices.SortFunc(h.out, func(a, b Reception) int { return a.Receiver - b.Receiver })
 	return h.out
 }
 
@@ -321,15 +832,48 @@ func (h *HierEngine) ResolveFor(tx []int, receivers []int) []Reception {
 		return nil
 	}
 	checkReceivers(receivers, len(h.pts))
-	for _, t := range tx {
-		if t < 0 || t >= len(h.pts) {
-			panic(fmt.Sprintf("sinr: transmitter %d out of range [0,%d)", t, len(h.pts)))
-		}
-	}
-	h.aggregate(tx)
+	h.checkTx(tx)
+	h.prepareRound(tx)
 
+	if !h.memo {
+		h.out = h.resolveListDescent(receivers)
+		return h.out
+	}
+	// Large subsets (an eighth of the network or more) pay for the
+	// cell walk: mark the subset and reuse the whole-round path. Small
+	// subsets iterate receivers directly — scattered cells build their
+	// slabs lazily, one cell cache per shard, which never costs more
+	// than the unmemoized per-receiver descent.
+	if len(receivers)*8 >= len(h.pts) {
+		if h.recvMask == nil {
+			h.recvMask = make([]bool, len(h.pts))
+		}
+		for _, u := range receivers {
+			h.recvMask[u] = true
+		}
+		h.buildWorkList()
+		if h.workers > 1 && len(receivers) >= h.minParallelN {
+			ensureRunner(&h.par, h, h.workers)
+			h.ensureChunks(h.par.pool.workers)
+			if h.shardFn == nil {
+				h.shardFn = h.runShard
+			}
+			h.curRecv = receivers // non-nil marks masked mode for shards
+			h.out = h.par.runAndMerge(h.shardFn, h.out)
+			h.curRecv = nil
+		} else {
+			h.ensureChunks(1)
+			h.out = h.collectBlocks(&h.chunks[0], h.workList, h.recvMask, h.out[:0])
+		}
+		for _, u := range receivers {
+			h.recvMask[u] = false
+		}
+		slices.SortFunc(h.out, func(a, b Reception) int { return a.Receiver - b.Receiver })
+		return h.out
+	}
 	if h.workers > 1 && len(receivers) >= h.minParallelN {
 		ensureRunner(&h.par, h, h.workers)
+		h.ensureChunks(h.par.pool.workers)
 		if h.shardForFn == nil {
 			h.shardForFn = h.runShardFor
 		}
@@ -337,24 +881,263 @@ func (h *HierEngine) ResolveFor(tx []int, receivers []int) []Reception {
 		h.out = h.par.runAndMerge(h.shardForFn, h.out)
 		h.curRecv = nil
 	} else {
-		h.out = h.collectList(receivers, h.out[:0])
+		h.ensureChunks(1)
+		h.out = h.collectList(&h.chunks[0], receivers, h.out[:0])
 	}
-
-	h.reset(tx)
 	return h.out
 }
 
-// runShard collects the shard-th contiguous receiver range.
-func (h *HierEngine) runShard(shard int) {
-	lo, hi := h.par.shardRange(shard, len(h.pts))
-	h.par.shardOut[shard] = h.collectRange(lo, hi, h.par.shardOut[shard][:0])
+// resolveListDescent is the unmemoized ResolveFor body (subset loop
+// over per-receiver descents), sharded like the other engines.
+func (h *HierEngine) resolveListDescent(receivers []int) []Reception {
+	if h.workers > 1 && len(receivers) >= h.minParallelN {
+		ensureRunner(&h.par, h, h.workers)
+		if h.shardForFn == nil {
+			h.shardForFn = h.runShardFor
+		}
+		h.curRecv = receivers
+		out := h.par.runAndMerge(h.shardForFn, h.out)
+		h.curRecv = nil
+		return out
+	}
+	return h.collectListDescent(receivers, h.out[:0])
 }
 
-// runShardFor collects the shard-th contiguous slice of the subset.
+// runShard is the parallel whole-round shard body. With the memo on it
+// takes the shard-th slice of the occupied-hot-cell work list (masked
+// when a large ResolveFor is in flight); with the memo off it takes the
+// shard-th receiver range, like the other engines.
+func (h *HierEngine) runShard(shard int) {
+	if !h.memo {
+		lo, hi := h.par.shardRange(shard, len(h.pts))
+		h.par.shardOut[shard] = h.collectRange(lo, hi, h.par.shardOut[shard][:0])
+		return
+	}
+	lo, hi := h.par.shardRange(shard, len(h.workList))
+	var mask []bool
+	if h.curRecv != nil {
+		mask = h.recvMask
+	}
+	h.par.shardOut[shard] = h.collectBlocks(&h.chunks[shard], h.workList[lo:hi], mask, h.par.shardOut[shard][:0])
+}
+
+// runShardFor resolves the shard-th contiguous slice of a ResolveFor
+// subset.
 func (h *HierEngine) runShardFor(shard int) {
 	lo, hi := h.par.shardRange(shard, len(h.curRecv))
-	h.par.shardOut[shard] = h.collectList(h.curRecv[lo:hi], h.par.shardOut[shard][:0])
+	if !h.memo {
+		h.par.shardOut[shard] = h.collectListDescent(h.curRecv[lo:hi], h.par.shardOut[shard][:0])
+		return
+	}
+	h.par.shardOut[shard] = h.collectList(&h.chunks[shard], h.curRecv[lo:hi], h.par.shardOut[shard][:0])
 }
+
+// --- Frontier-memoized collection --------------------------------------
+
+// gatherNear collects the transmitters of the block's union near box —
+// the block's cell extent padded by the near-field radius, so every
+// receiver in the block has its own near box covered — into the
+// chunk's slabs, in (cell-row, cell-col, list) scan order. Every
+// receiver of the block sums all of them exactly: a superset of its
+// own near box, so the exact region only grows.
+func (h *HierEngine) gatherNear(ch *hierChunk, bx0, by0, bx1, by1 int) {
+	ch.nearID = ch.nearID[:0]
+	ch.nearX = ch.nearX[:0]
+	ch.nearY = ch.nearY[:0]
+	nc := h.nearCells
+	y0, y1 := max(by0-nc, 0), min(by1+nc, h.rows-1)
+	x0, x1 := max(bx0-nc, 0), min(bx1+nc, h.cols-1)
+	for cy := y0; cy <= y1; cy++ {
+		row := cy * h.cols
+		for cx := x0; cx <= x1; cx++ {
+			for _, t := range h.txInCell[row+cx] {
+				ch.nearID = append(ch.nearID, t)
+				ch.nearX = append(ch.nearX, h.ptsX[t])
+				ch.nearY = append(ch.nearY, h.ptsY[t])
+			}
+		}
+	}
+}
+
+// buildFrontier runs the shared Barnes–Hut descent for the receiver
+// block with cell extent [bx0c,bx1c]×[by0c,by1c], emitting the
+// accepted-node frontier every receiver in the block replays. A node
+// wholly outside the block's union near box is accepted when θ holds
+// at the point of the block's (padded) rectangle nearest to the node's
+// center of mass — then it holds for every receiver position in the
+// block — and descended otherwise; level-0 nodes outside the union box
+// are always accepted, the leaf case of the per-receiver descent. The
+// conservative test is monotone in IEEE arithmetic, so the frontier is
+// a refinement of what any single receiver's own θ test would accept:
+// receivers in the block share one descent and one set of
+// center-of-mass divisions, at equal or better accuracy.
+func (h *HierEngine) buildFrontier(ch *hierChunk, bx0c, by0c, bx1c, by1c int) {
+	ch.evX = ch.evX[:0]
+	ch.evY = ch.evY[:0]
+	ch.evP = ch.evP[:0]
+	rx0 := h.minX + float64(bx0c)*h.cellSize - h.rectPad
+	rx1 := h.minX + float64(bx1c+1)*h.cellSize + h.rectPad
+	ry0 := h.minY + float64(by0c)*h.cellSize - h.rectPad
+	ry1 := h.minY + float64(by1c+1)*h.cellSize + h.rectPad
+	theta2 := h.theta2
+	nc := h.nearCells
+	var stackBuf [160]pyrNode
+	stack := stackBuf[:0]
+	top := len(h.levels) - 1
+	if h.levels[top].pow[0] != 0 {
+		stack = append(stack, pyrNode{lv: int32(top), idx: 0})
+	}
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		lv := &h.levels[nd.lv]
+		nx, ny := int(nd.idx)%lv.cols, int(nd.idx)/lv.cols
+		shift := uint(nd.lv)
+		bx0, by0 := nx<<shift, ny<<shift
+		bx1, by1 := bx0+(1<<shift)-1, by0+(1<<shift)-1
+		outsideNear := bx0 > bx1c+nc || bx1 < bx0c-nc || by0 > by1c+nc || by1 < by0c-nc
+		if outsideNear {
+			pow := lv.pow[nd.idx]
+			cx := lv.px[nd.idx] / pow
+			cy := lv.py[nd.idx] / pow
+			accept := nd.lv == 0
+			if !accept {
+				// Nearest squared distance from the rectangle to the COM.
+				dxn, dyn := 0.0, 0.0
+				if cx < rx0 {
+					dxn = rx0 - cx
+				} else if cx > rx1 {
+					dxn = cx - rx1
+				}
+				if cy < ry0 {
+					dyn = ry0 - cy
+				} else if cy > ry1 {
+					dyn = cy - ry1
+				}
+				accept = lv.diam2 <= theta2*(dxn*dxn+dyn*dyn)
+			}
+			if accept {
+				ch.evX = append(ch.evX, cx)
+				ch.evY = append(ch.evY, cy)
+				ch.evP = append(ch.evP, pow)
+				continue
+			}
+		} else if nd.lv == 0 {
+			continue // inside the near box: summed exactly already
+		}
+		child := &h.levels[nd.lv-1]
+		cx0, cy0 := nx*2, ny*2
+		for dy := 0; dy < 2; dy++ {
+			for dx := 0; dx < 2; dx++ {
+				cx, cy := cx0+dx, cy0+dy
+				if cx >= child.cols || cy >= child.rows {
+					continue
+				}
+				ci := int32(cy*child.cols + cx)
+				if child.pow[ci] != 0 {
+					stack = append(stack, pyrNode{lv: nd.lv - 1, idx: ci})
+				}
+			}
+		}
+	}
+}
+
+// resolveReceiver resolves one receiver against the chunk's prepared
+// slabs: an exact linear scan of the gathered near field (which also
+// elects the decoding candidate), then the frontier replay — accepted
+// nodes as flat multiply-adds, undecided subtrees by exact descent.
+func (h *HierEngine) resolveReceiver(ch *hierChunk, u int32, dst []Reception) []Reception {
+	p := h.params
+	pw := p.Power()
+	kern := h.kern
+	upx, upy := h.ptsX[u], h.ptsY[u]
+
+	total := 0.0
+	bestD2 := math.Inf(1)
+	best := int32(-1)
+	nx, ny, nid := ch.nearX, ch.nearY, ch.nearID
+	for i := range nx {
+		dx := upx - nx[i]
+		dy := upy - ny[i]
+		d2 := dx*dx + dy*dy
+		total += pw * kern.FromDist2(d2)
+		if d2 < bestD2 {
+			bestD2 = d2
+			best = nid[i]
+		}
+	}
+	if best < 0 || bestD2 > 1 {
+		return dst
+	}
+
+	far := 0.0
+	evX, evY, evP := ch.evX, ch.evY, ch.evP
+	for i := range evX {
+		dx := upx - evX[i]
+		dy := upy - evY[i]
+		far += evP[i] * kern.FromDist2(dx*dx+dy*dy)
+	}
+	total += far
+
+	s := pw * kern.FromDist2(bestD2)
+	intf := total - s
+	if intf < 0 {
+		intf = 0
+	}
+	if p.Decodes(s, intf) {
+		dst = append(dst, Reception{Receiver: int(u), Transmitter: int(best)})
+	}
+	return dst
+}
+
+// collectBlocks resolves every (non-transmitting, hot-celled,
+// unmasked) station of the listed blocks, building each block's near
+// slab and frontier once, lazily on its first eligible receiver.
+// Receptions come out grouped by block; the caller sorts by receiver.
+func (h *HierEngine) collectBlocks(ch *hierChunk, blocks []int32, mask []bool, dst []Reception) []Reception {
+	for _, b := range blocks {
+		bx0, by0, bx1, by1 := h.blockCellRange(b)
+		built := false
+		for si := h.blockStart[b]; si < h.blockStart[b+1]; si++ {
+			u := h.blockItems[si]
+			if h.isTx[u] || h.hotCnt[h.cellOf[u]] == 0 || (mask != nil && !mask[u]) {
+				continue
+			}
+			if !built {
+				h.gatherNear(ch, bx0, by0, bx1, by1)
+				h.buildFrontier(ch, bx0, by0, bx1, by1)
+				built = true
+			}
+			dst = h.resolveReceiver(ch, u, dst)
+		}
+	}
+	return dst
+}
+
+// collectList resolves an explicit ascending receiver list with the
+// memoized slabs, caching the most recent block per chunk — scattered
+// small subsets degrade gracefully to one build per receiver, which
+// costs about one unmemoized descent each.
+func (h *HierEngine) collectList(ch *hierChunk, receivers []int, dst []Reception) []Reception {
+	for _, u := range receivers {
+		c := h.cellOf[u]
+		if h.hotCnt[c] == 0 || h.isTx[u] {
+			continue
+		}
+		b := h.blockOfCell(c)
+		if ch.cachedBlock != b || ch.cachedRound != h.roundGen {
+			bx0, by0, bx1, by1 := h.blockCellRange(b)
+			h.gatherNear(ch, bx0, by0, bx1, by1)
+			h.buildFrontier(ch, bx0, by0, bx1, by1)
+			ch.cachedBlock = b
+			ch.cachedRound = h.roundGen
+		}
+		dst = h.resolveReceiver(ch, int32(u), dst)
+	}
+	return dst
+}
+
+// --- Unmemoized reference collection -----------------------------------
 
 func (h *HierEngine) collectRange(lo, hi int, dst []Reception) []Reception {
 	for u := lo; u < hi; u++ {
@@ -363,45 +1146,47 @@ func (h *HierEngine) collectRange(lo, hi int, dst []Reception) []Reception {
 	return dst
 }
 
-func (h *HierEngine) collectList(receivers []int, dst []Reception) []Reception {
+func (h *HierEngine) collectListDescent(receivers []int, dst []Reception) []Reception {
 	for _, u := range receivers {
 		dst = h.collectOne(u, dst)
 	}
 	return dst
 }
 
-// collectOne resolves receiver u. Shared state is read-only here, so
-// shards run it concurrently; the descent order is fixed, so the
-// accumulated float sums — and hence the output — are identical for
-// every sharding.
+// collectOne resolves receiver u with its own full pyramid descent —
+// the unmemoized reference path (SetFrontierMemo(false)), applying the
+// same block-rectangle θ classification and union near box as
+// buildFrontier so its output is bit-identical to the memoized replay.
+// Shared state is read-only here, so shards run it concurrently; the
+// descent order is fixed, so the accumulated float sums — and hence
+// the output — are identical for every sharding.
 func (h *HierEngine) collectOne(u int, dst []Reception) []Reception {
-	uc := int(h.cellOf[u])
-	if !h.hot[uc] || h.isTx[u] {
+	uc := h.cellOf[u]
+	if h.hotCnt[uc] == 0 || h.isTx[u] {
 		return dst
 	}
 	p := h.params
 	pw := p.Power()
 	kern := h.kern
 	nc := h.nearCells
-	up := h.pts[u]
-	ucx := uc % h.cols
-	ucy := uc / h.cols
+	upx, upy := h.ptsX[u], h.ptsY[u]
+	bx0, by0, bx1, by1 := h.blockCellRange(h.blockOfCell(uc))
 
-	// Near field first: exact per-transmitter sums over the near box,
-	// which also finds the decoding candidate. If no candidate lies
-	// within the communication range the round is over for u and the
-	// far-field descent is skipped entirely.
+	// Near field first: exact per-transmitter sums over the block's
+	// union near box, which also finds the decoding candidate. If no
+	// candidate lies within the communication range the round is over
+	// for u and the far-field descent is skipped entirely.
 	total := 0.0
 	bestD2 := math.Inf(1)
 	best := int32(-1)
-	y0, y1 := max(ucy-nc, 0), min(ucy+nc, h.rows-1)
-	x0, x1 := max(ucx-nc, 0), min(ucx+nc, h.cols-1)
+	y0, y1 := max(by0-nc, 0), min(by1+nc, h.rows-1)
+	x0, x1 := max(bx0-nc, 0), min(bx1+nc, h.cols-1)
 	for cy := y0; cy <= y1; cy++ {
 		row := cy * h.cols
 		for cx := x0; cx <= x1; cx++ {
 			for _, t := range h.txInCell[row+cx] {
-				tp := h.pts[t]
-				dx, dy := up.X-tp.X, up.Y-tp.Y
+				dx := upx - h.ptsX[t]
+				dy := upy - h.ptsY[t]
 				d2 := dx*dx + dy*dy
 				total += pw * kern.FromDist2(d2)
 				if d2 < bestD2 {
@@ -415,12 +1200,7 @@ func (h *HierEngine) collectOne(u int, dst []Reception) []Reception {
 		return dst
 	}
 
-	// Far field: descend the pyramid. A node is accepted (its aggregate
-	// power placed at its center of mass) when it does not intersect the
-	// near box and passes the θ test; level-0 cells outside the near box
-	// are always accepted — that is exactly GridEngine's leaf
-	// approximation, with the center of mass instead of the cell center.
-	total += h.farField(up, ucx, ucy)
+	total += h.farField(upx, upy, bx0, by0, bx1, by1)
 
 	s := pw * kern.FromDist2(bestD2)
 	intf := total - s
@@ -433,14 +1213,21 @@ func (h *HierEngine) collectOne(u int, dst []Reception) []Reception {
 	return dst
 }
 
-// farField sums the approximated interference outside the near box of
-// the receiver at up (whose base cell is (ucx,ucy)) by descending the
-// pyramid from the root. The DFS stack is bounded by 3 pending siblings
-// per level; 4·levels slots leave slack for the root.
-func (h *HierEngine) farField(up geom.Point, ucx, ucy int) float64 {
+// farField sums the approximated interference outside the union near
+// box of the receiver at (upx,upy), whose block has cell extent
+// [bx0c,bx1c]×[by0c,by1c], by descending the pyramid from the root
+// with buildFrontier's block-rectangle classification — one receiver's
+// private replay of exactly the descent the frontier shares across the
+// block. The DFS stack is bounded by 3 pending siblings per level;
+// 4·levels slots leave slack for the root.
+func (h *HierEngine) farField(upx, upy float64, bx0c, by0c, bx1c, by1c int) float64 {
 	kern := h.kern
 	theta2 := h.theta2
 	nc := h.nearCells
+	rx0 := h.minX + float64(bx0c)*h.cellSize - h.rectPad
+	rx1 := h.minX + float64(bx1c+1)*h.cellSize + h.rectPad
+	ry0 := h.minY + float64(by0c)*h.cellSize - h.rectPad
+	ry1 := h.minY + float64(by1c+1)*h.cellSize + h.rectPad
 	var stackBuf [160]pyrNode
 	stack := stackBuf[:0]
 	top := len(h.levels) - 1
@@ -457,14 +1244,30 @@ func (h *HierEngine) farField(up geom.Point, ucx, ucy int) float64 {
 		shift := uint(nd.lv)
 		bx0, by0 := nx<<shift, ny<<shift
 		bx1, by1 := bx0+(1<<shift)-1, by0+(1<<shift)-1
-		outsideNear := bx0 > ucx+nc || bx1 < ucx-nc || by0 > ucy+nc || by1 < ucy-nc
+		outsideNear := bx0 > bx1c+nc || bx1 < bx0c-nc || by0 > by1c+nc || by1 < by0c-nc
 		if outsideNear {
 			pow := lv.pow[nd.idx]
-			dx := up.X - lv.px[nd.idx]/pow
-			dy := up.Y - lv.py[nd.idx]/pow
-			d2 := dx*dx + dy*dy
-			if nd.lv == 0 || lv.diam2 <= theta2*d2 {
-				sum += pow * kern.FromDist2(d2)
+			cx := lv.px[nd.idx] / pow
+			cy := lv.py[nd.idx] / pow
+			accept := nd.lv == 0
+			if !accept {
+				dxn, dyn := 0.0, 0.0
+				if cx < rx0 {
+					dxn = rx0 - cx
+				} else if cx > rx1 {
+					dxn = cx - rx1
+				}
+				if cy < ry0 {
+					dyn = ry0 - cy
+				} else if cy > ry1 {
+					dyn = cy - ry1
+				}
+				accept = lv.diam2 <= theta2*(dxn*dxn+dyn*dyn)
+			}
+			if accept {
+				dx := upx - cx
+				dy := upy - cy
+				sum += pow * kern.FromDist2(dx*dx+dy*dy)
 				continue
 			}
 		} else if nd.lv == 0 {

@@ -74,14 +74,18 @@ func resolveWorkers(w int) int {
 	return w
 }
 
-// shardRunner owns the parallel-resolve machinery shared by Engine and
-// GridEngine: the lazy worker pool, its GC teardown registration, and
-// the per-shard reception buffers that make the ordered merge
-// deterministic.
+// shardRunner owns the parallel-resolve machinery shared by the
+// engines: the lazy worker pool, its GC teardown registration, and the
+// per-shard reception buffers that make the ordered merge
+// deterministic. hiWater remembers the largest per-shard reception
+// count ever merged, so rebuilding the pool (a worker-count change)
+// presizes the fresh buffers instead of rediscovering the round's
+// decode volume through repeated append growth.
 type shardRunner struct {
 	pool     *workerPool
 	cleanup  runtime.Cleanup
 	shardOut [][]Reception
+	hiWater  int
 }
 
 // ensureRunner (re)builds r's pool for the given worker count. owner is
@@ -100,6 +104,11 @@ func ensureRunner[T any](r *shardRunner, owner *T, workers int) {
 	r.pool = newWorkerPool(workers)
 	r.cleanup = runtime.AddCleanup(owner, func(p *workerPool) { p.close() }, r.pool)
 	r.shardOut = make([][]Reception, workers)
+	if r.hiWater > 0 {
+		for i := range r.shardOut {
+			r.shardOut[i] = make([]Reception, 0, r.hiWater)
+		}
+	}
 }
 
 // shardRange returns the half-open receiver range of one shard over n
@@ -117,6 +126,9 @@ func (r *shardRunner) runAndMerge(fn func(shard int), out []Reception) []Recepti
 	out = out[:0]
 	for _, shard := range r.shardOut {
 		out = append(out, shard...)
+		if len(shard) > r.hiWater {
+			r.hiWater = len(shard)
+		}
 	}
 	return out
 }
