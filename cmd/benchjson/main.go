@@ -46,6 +46,8 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+
+	"sinrcast/internal/prof"
 )
 
 // Benchmark is one parsed result line.
@@ -196,6 +198,7 @@ func compare(fresh, base *Report, filter *regexp.Regexp, metric string, toleranc
 }
 
 func main() {
+	profiles := prof.AddFlags(flag.CommandLine)
 	var (
 		benchtime = flag.String("benchtime", "", "record the -benchtime the benches ran with in the report")
 		compareTo = flag.String("compare", "", "baseline JSON to gate against instead of emitting JSON")
@@ -204,6 +207,13 @@ func main() {
 		tolerance = flag.Float64("tolerance", 0.15, "allowed relative slowdown before -compare fails")
 	)
 	flag.Parse()
+
+	stopProf, err := profiles.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	rep, err := parseBench(os.Stdin)
 	if err != nil {

@@ -82,23 +82,35 @@
 //     power-of-two pyramid whose nodes hold aggregate power at their
 //     center of mass, consumed through a θ-gated Barnes–Hut descent
 //     (default θ=0.5 — the knob trades accuracy for speed), and the
-//     hot path is amortized twice. Across receivers: the descent runs
-//     once per occupied 16×16-cell block — nodes accepted against the
-//     block rectangle's nearest point, a conservative and therefore
-//     strictly finer test — and every receiver in the block replays
-//     the accepted-node frontier as a flat slab scan, with the near
-//     field gathered once per block and summed exactly. Across
-//     rounds: aggregates persist between Resolve calls, and when
-//     consecutive sorted transmitter sets overlap, only changed cells
-//     and their O(Δ·log cells) ancestor chains recompute (canonical
-//     child-order sums make the incremental state bit-identical to a
-//     fresh build); beyond DefaultDeltaCrossover (50%) churn the
-//     round rebuilds from scratch, which a recorded decay trace shows
-//     costs nothing. Receivers with no transmitter in their near
-//     field are rejected with one table lookup, steady-state rounds
+//     hot path is amortized three ways. Across receivers: the descent
+//     runs once per occupied 16×16-cell block — nodes accepted
+//     against the block rectangle's nearest point, a conservative and
+//     therefore strictly finer test — and every receiver in the block
+//     replays the accepted-node frontier as a flat slab scan, with
+//     the near field gathered once per block and summed exactly.
+//     Across rounds, transmit side: aggregates persist between
+//     Resolve calls, and when consecutive sorted transmitter sets
+//     overlap, only changed cells and their O(Δ·log cells) ancestor
+//     chains recompute (canonical child-order sums make the
+//     incremental state bit-identical to a fresh build); beyond
+//     DefaultDeltaCrossover (50%) churn the round rebuilds from
+//     scratch, which a recorded decay trace shows costs nothing.
+//     Across rounds, receive side: an aggregation epoch bumps only
+//     when the transmitter set changes, and per-block frontier/near
+//     slabs plus per-receiver far-field sums are cached by epoch —
+//     unchanged rounds replay them bit-identically without
+//     descending or re-folding. The folds run through the
+//     internal/sinr/simd batch kernels (α-specialized 4/8-wide
+//     unrolls preserving scalar summation order bit-exactly, a
+//     kernel-free ArgMin rejection pass before any path-loss math,
+//     and an opt-in AVX2 tier via simd.SetUseAsm with portable
+//     arm64/purego fallbacks and a measured disagreement bound).
+//     Receivers with no transmitter near their block are rejected
+//     with one block-granular hot-table lookup, steady-state rounds
 //     are allocation-free, and SetFrontierMemo(false) /
-//     SetDeltaCrossover(0) expose the bit-identical slow reference
-//     paths for debugging. Built for million-station rounds.
+//     SetDeltaCrossover(0) / SetVectorized(false) expose the
+//     bit-identical slow reference paths for debugging. Built for
+//     million-station rounds.
 //
 // Both approximate engines keep near-field interference and the
 // decoding candidate exact, so approximation only perturbs the far

@@ -1,0 +1,120 @@
+package sinr
+
+import (
+	"fmt"
+	"testing"
+
+	"sinrcast/internal/rng"
+	"sinrcast/internal/sinr/simd"
+)
+
+// benchSlabs builds synthetic far-field slabs shaped like a real
+// frontier: receiver at the origin, nodes spread over an annulus
+// outside the near field with power spanning a few octaves.
+func benchSlabs(seed uint64, n int) (x, y, p []float64) {
+	r := rng.New(seed)
+	x = make([]float64, n)
+	y = make([]float64, n)
+	p = make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = r.Range(2, 120)
+		if r.Bernoulli(0.5) {
+			x[i] = -x[i]
+		}
+		y[i] = r.Range(2, 120)
+		if r.Bernoulli(0.5) {
+			y[i] = -y[i]
+		}
+		p[i] = r.Range(1, 16)
+	}
+	return
+}
+
+// benchSink keeps the kernels' results observable so the compiler
+// cannot elide the loops under measurement.
+var benchSink float64
+
+// BenchmarkFrontierReplay isolates the far-field replay kernel — the
+// Σ p·d^-α multiply-add stream resolveReceiver runs per receiver —
+// across frontier sizes, path-loss exponents, and the three
+// implementation tiers: the plain scalar loop (the SetVectorized(false)
+// reference), the portable unrolled batch kernel, and the opt-in AVX2
+// assembly where the build and CPU provide it.
+func BenchmarkFrontierReplay(b *testing.B) {
+	for _, size := range []int{64, 512, 4096} {
+		x, y, p := benchSlabs(uint64(size), size)
+		for _, alpha := range []float64{2, 2.5, 4} {
+			k := NewKernel(alpha)
+			b.Run(fmt.Sprintf("len=%d/alpha=%g/scalar", size, alpha), func(b *testing.B) {
+				acc := 0.0
+				for i := 0; i < b.N; i++ {
+					sum := 0.0
+					for j := range x {
+						dx, dy := 0.25-x[j], -0.5-y[j]
+						sum += p[j] * k.FromDist2(dx*dx+dy*dy)
+					}
+					acc += sum
+				}
+				benchSink = acc
+			})
+			b.Run(fmt.Sprintf("len=%d/alpha=%g/portable", size, alpha), func(b *testing.B) {
+				acc := 0.0
+				for i := 0; i < b.N; i++ {
+					acc += k.FarSum(0.25, -0.5, x, y, p)
+				}
+				benchSink = acc
+			})
+			if (alpha == 2 || alpha == 4) && simd.AsmAvailable() {
+				b.Run(fmt.Sprintf("len=%d/alpha=%g/asm", size, alpha), func(b *testing.B) {
+					simd.SetUseAsm(true)
+					defer simd.SetUseAsm(false)
+					acc := 0.0
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						acc += k.FarSumFast(0.25, -0.5, x, y, p)
+					}
+					benchSink = acc
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkGatherNear isolates the near-field distance scan — the exact
+// per-transmitter sum plus argmin election over a block's gathered near
+// slab — across slab sizes and exponents, scalar loop vs the batch
+// NearScan kernel.
+func BenchmarkGatherNear(b *testing.B) {
+	for _, size := range []int{16, 64, 256} {
+		x, y, _ := benchSlabs(uint64(size)*7+1, size)
+		for _, alpha := range []float64{2, 2.5, 4} {
+			k := NewKernel(alpha)
+			const pw = 1.0
+			b.Run(fmt.Sprintf("len=%d/alpha=%g/scalar", size, alpha), func(b *testing.B) {
+				acc := 0.0
+				for i := 0; i < b.N; i++ {
+					total, bestD2 := 0.0, 1e18
+					best := -1
+					for j := range x {
+						dx, dy := 0.25-x[j], -0.5-y[j]
+						d2 := dx*dx + dy*dy
+						total += pw * k.FromDist2(d2)
+						if d2 < bestD2 {
+							bestD2, best = d2, j
+						}
+					}
+					acc += total + float64(best)
+				}
+				benchSink = acc
+			})
+			b.Run(fmt.Sprintf("len=%d/alpha=%g/batch", size, alpha), func(b *testing.B) {
+				acc := 0.0
+				for i := 0; i < b.N; i++ {
+					total, best, _ := k.NearScan(pw, 0.25, -0.5, x, y, 0, 1e18)
+					acc += total + float64(best)
+				}
+				benchSink = acc
+			})
+		}
+	}
+}

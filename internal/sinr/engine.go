@@ -221,6 +221,11 @@ func (e *Engine) accumulate(tx []int, lo, hi int) {
 
 // accumulateEuclidean is the hot path: flat slices, squared distances,
 // kernel-specialized path loss, no interface calls in the inner loop.
+// Each transmitter row runs through the batch AccumRow kernel — d^-α
+// evaluated from the squared distance (no sqrt, no Pow for the common
+// exponents), with the kernel dispatch hoisted out of the receiver
+// loop. Per-receiver updates are independent, so the batch form is
+// trivially bit-identical to the plain loop.
 func (e *Engine) accumulateEuclidean(tx []int, lo, hi int) {
 	pw := e.params.Power()
 	kern := e.kern
@@ -229,23 +234,11 @@ func (e *Engine) accumulateEuclidean(tx []int, lo, hi int) {
 		e.best[u] = -1
 		e.bestD[u] = math.Inf(1)
 	}
+	x, y := e.ptsX[lo:hi], e.ptsY[lo:hi]
+	isTx, sig := e.isTx[lo:hi], e.sig[lo:hi]
+	bestD, best := e.bestD[lo:hi], e.best[lo:hi]
 	for _, t := range tx {
-		tx0, ty0 := e.ptsX[t], e.ptsY[t]
-		for u := lo; u < hi; u++ {
-			if e.isTx[u] {
-				continue
-			}
-			dx := e.ptsX[u] - tx0
-			dy := e.ptsY[u] - ty0
-			d2 := dx*dx + dy*dy
-			// d^-α evaluated from the squared distance: no sqrt, no Pow
-			// for the common exponents.
-			e.sig[u] += pw * kern.FromDist2(d2)
-			if d2 < e.bestD[u] {
-				e.bestD[u] = d2
-				e.best[u] = int32(t)
-			}
-		}
+		kern.AccumRow(pw, e.ptsX[t], e.ptsY[t], int32(t), x, y, isTx, sig, bestD, best)
 	}
 }
 

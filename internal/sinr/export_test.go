@@ -45,3 +45,16 @@ func ForceParallelForTest(r Resolver, workers int) {
 // BenchSceneForTest exposes the benches' constant-density scene
 // generator to the external bench files.
 func BenchSceneForTest(seed uint64, n int) *geom.Euclidean { return benchScene(seed, n) }
+
+// HotStatsForTest returns the hot-table cost counters accumulated since
+// construction: total block-counter bumps and live-cell transitions
+// (bumpHot calls). The hardware-independent CI gate divides the two and
+// compares against the (2·nearCells+1)² bumps the per-cell table paid
+// per transition.
+func (h *HierEngine) HotStatsForTest() (bumps, transitions int64) {
+	return h.hotBumps, h.hotTransitions
+}
+
+// NearCellsForTest exposes the near-field box radius in cells, the
+// input of the per-cell bump count the hot-table gate compares against.
+func (h *HierEngine) NearCellsForTest() int { return h.nearCells }

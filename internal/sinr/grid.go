@@ -357,7 +357,10 @@ func (g *GridEngine) collectOne(u int, dst []Reception) []Reception {
 		d2 := dx*dx + dy*dy
 		total += g.cellPower[c] * kern.FromDist2(d2)
 	}
-	// Near field: exact per-transmitter sums.
+	// Near field: exact per-transmitter sums, one NearScanIndexed batch
+	// call per cell list. The running (total, bestD2) thread through the
+	// calls in cell-scan order, so the accumulation is bit-identical to
+	// the plain nested loop.
 	for cy := ucy - nearCells; cy <= ucy+nearCells; cy++ {
 		if cy < 0 || cy >= g.rows {
 			continue
@@ -367,14 +370,10 @@ func (g *GridEngine) collectOne(u int, dst []Reception) []Reception {
 				continue
 			}
 			c := cy*g.cols + cx
-			for _, t := range g.txInCell[c] {
-				dx, dy := up.X-g.ptsX[t], up.Y-g.ptsY[t]
-				d2 := dx*dx + dy*dy
-				total += pw * kern.FromDist2(d2)
-				if d2 < bestD2 {
-					bestD2 = d2
-					best = t
-				}
+			var bid int32
+			total, bid, bestD2 = kern.NearScanIndexed(pw, up.X, up.Y, g.txInCell[c], g.ptsX, g.ptsY, total, bestD2)
+			if bid >= 0 {
+				best = bid
 			}
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"slices"
 
 	"sinrcast/internal/geom"
+	"sinrcast/internal/sinr/simd"
 )
 
 // Default geometry of the approximate engines: half-comm-radius cells,
@@ -74,26 +75,40 @@ type pyrNode struct {
 	idx int32
 }
 
-// hierChunk is the per-shard scratch of the frontier-memoized receiver
-// loop. Each shard processes whole receiver blocks: it gathers the
-// block's near-field transmitters once, builds the block's far-field
-// frontier once, and then resolves every receiver in the block against
-// those slabs. Buffers are reused across blocks and rounds, so
-// steady-state rounds allocate nothing.
-type hierChunk struct {
-	// Accepted-node frontier of the block being processed, in descent
-	// order: center-of-mass coordinates and aggregate power slabs the
-	// receivers replay as flat multiply-adds.
+// blockSlabs holds the replayable per-block slabs of the memoized
+// receiver loop: the accepted-node frontier in descent order (center-of-
+// mass coordinates and aggregate power, replayed as flat multiply-adds)
+// and the near-field gather (transmitter ids and coordinates in scan
+// order over the block's union near box). Buffers are reused via [:0]
+// truncation, so a rebuilt block reallocates only past its high-water
+// mark.
+type blockSlabs struct {
 	evX, evY, evP []float64
-	// Near-field gather of the block being processed: transmitter ids
-	// and coordinates in scan order over the block's union near box.
-	nearID       []int32
-	nearX, nearY []float64
-	// cachedBlock/cachedRound key the lazy per-receiver path of small
-	// ResolveFor subsets: consecutive receivers in one block reuse the
-	// gathered slabs.
+	nearID        []int32
+	nearX, nearY  []float64
+}
+
+// blockCacheEntry is one slot of the cross-round per-block slab cache:
+// the slabs plus the aggregation epoch they were built at. Both slabs
+// depend only on the transmitter aggregation state (cell lists and
+// pyramid aggregates) and static block geometry, so while the epoch
+// matches they replay bit-identically without re-gathering or re-
+// descending.
+type blockCacheEntry struct {
+	blockSlabs
+	epoch uint32
+}
+
+// hierChunk is the per-shard scratch of the frontier-memoized receiver
+// loop: private slabs for the receiver-partitioned list path, where two
+// shards may visit the same block concurrently and therefore cannot
+// share the per-block cache. cachedBlock/cachedEpoch key the lazy
+// reuse: consecutive receivers in one block — across rounds, while the
+// aggregation is unchanged — replay the same slabs.
+type hierChunk struct {
+	blockSlabs
 	cachedBlock int32
-	cachedRound uint32
+	cachedEpoch uint32
 }
 
 // HierEngine resolves rounds approximately for Euclidean networks with
@@ -109,7 +124,7 @@ type hierChunk struct {
 // approximation error only perturbs the far interference tail, and the
 // center-of-mass placement cancels the first-order term of that error.
 //
-// Two amortizations keep the hot path cheap:
+// Three amortizations keep the hot path cheap:
 //
 //   - Across receivers (frontier memoization): the descent runs once
 //     per occupied block of frontierBlock×frontierBlock cells,
@@ -132,8 +147,18 @@ type hierChunk struct {
 //     sets differ by a small delta, only the dirty cells and their
 //     O(Δ·log cells) ancestor chains are recomputed — canonically,
 //     child-order sums, so incremental state is bit-identical to a
-//     from-scratch build — and the hot-cell table updates by counting.
-//     Beyond SetDeltaCrossover churn the round rebuilds from scratch.
+//     from-scratch build — and the block-granularity hot table updates
+//     by counting. Beyond SetDeltaCrossover churn the round rebuilds
+//     from scratch.
+//
+//   - Across rounds, receiver side (epoch caching): every delta or
+//     rebuild that changes anything bumps an aggregation epoch, and
+//     both the per-block slabs (near gather + frontier) and each
+//     receiver's far-field sum are cached under the epoch that built
+//     them. Rounds whose transmitter set did not change replay cached
+//     slabs and far sums verbatim — bit-identical by construction —
+//     so their cost collapses to the near-field rejection scans and
+//     the decode tests.
 //
 // Like the other engines, path loss goes through the specialized
 // Kernel, large rounds shard across the reusable worker pool with
@@ -180,30 +205,45 @@ type HierEngine struct {
 	shardFn      func(shard int)
 	shardForFn   func(shard int)
 
-	// Tuning knobs (see SetFrontierMemo / SetDeltaCrossover).
+	// Tuning knobs (see SetFrontierMemo / SetDeltaCrossover /
+	// SetVectorized).
 	memo           bool
+	vec            bool
 	deltaCrossover float64
 
 	// Cross-round transmitter aggregation state. Unlike the other
 	// engines this is NOT scratch: it persists between rounds so the
 	// delta path can update it incrementally.
 	txInCell [][]int32
-	// hotCnt[c] counts live cells whose near box covers base cell c; a
-	// receiver in a cell with count 0 has no transmitter in range and
-	// is rejected without any work. hotList holds cells that have been
-	// hot since the last reset (stale entries are filtered on use).
-	hotCnt   []int32
-	hotList  []int32
-	hotCount int
-	isTx     []bool
-	prevTx   []int
+	// hotCnt[b] counts live cells whose near box intersects receiver
+	// block b: a station in a block with count 0 has no transmitter
+	// within the near radius (every cell of the block is cold) and is
+	// rejected without any work. Block granularity keeps bumpHot at a
+	// handful of counter updates per live-cell transition instead of
+	// (2·nearCells+1)² per-cell ones. hotList holds blocks that have
+	// been hot since the last reset (stale entries are filtered on
+	// use); hotBumps/hotTransitions count counter updates and bumpHot
+	// calls for the hardware-independent cost gate.
+	hotCnt         []int32
+	hotList        []int32
+	hotCount       int
+	hotBumps       int64
+	hotTransitions int64
+	isTx           []bool
+	prevTx         []int
 	// prevSorted records whether prevTx was strictly increasing — the
 	// precondition for the sorted-merge delta diff and for per-cell
 	// transmitter lists being in ascending (= canonical) order.
 	prevSorted bool
 	haveRound  bool
 	gen        uint32
-	roundGen   uint32
+	// aggEpoch numbers distinct transmitter-aggregation states: bumped
+	// by every fresh build and by every delta application that touched
+	// anything. Per-block slabs are pure functions of the aggregation
+	// state, so a blockCache entry stamped with the current epoch
+	// replays bit-identically — zero-churn rounds skip every gather and
+	// descent.
+	aggEpoch uint32
 
 	// Delta scratch, reused across rounds.
 	gone       []bool
@@ -221,6 +261,20 @@ type HierEngine struct {
 	curRecv  []int
 	recvMask []bool
 	chunks   []hierChunk
+	// blockCache persists each block's slabs across rounds, stamped
+	// with the aggregation epoch that built them. The whole-round path
+	// partitions blocks across shards, so each entry is written by at
+	// most one goroutine per round; the pool's round barrier orders
+	// cross-round handoffs.
+	blockCache []blockCacheEntry
+	// farCache/farEpoch memoize each receiver's far-field replay: the
+	// frontier sum is a pure function of (receiver position, aggregation
+	// epoch), so a receiver whose stamp matches the current epoch reuses
+	// the stored value — bit-identical by construction — instead of
+	// replaying the slabs. Receivers are partitioned across shards in
+	// every parallel mode, so each entry has one writer per round.
+	farCache []float64
+	farEpoch []uint32
 	out      []Reception
 }
 
@@ -265,9 +319,9 @@ func NewHierEngine(eu *geom.Euclidean, p Params, cellSize, nearRadius, theta flo
 		minParallelN:   parallelCrossover,
 		memo:           true,
 		deltaCrossover: DefaultDeltaCrossover,
+		vec:            true,
 		cellOf:         make([]int32, n),
 		txInCell:       make([][]int32, cols*rows),
-		hotCnt:         make([]int32, cols*rows),
 		isTx:           make([]bool, n),
 		gone:           make([]bool, n),
 		dirtyOrd:       make([]int32, cols*rows),
@@ -284,6 +338,11 @@ func NewHierEngine(eu *geom.Euclidean, p Params, cellSize, nearRadius, theta flo
 	h.brows = (rows + frontierBlock - 1) / frontierBlock
 	nBlocks := h.bcols * h.brows
 	h.blockStamp = make([]uint32, nBlocks)
+	h.hotCnt = make([]int32, nBlocks)
+	h.blockCache = make([]blockCacheEntry, nBlocks)
+	h.farCache = make([]float64, n)
+	h.farEpoch = make([]uint32, n)
+	h.aggEpoch = 1
 	counts := make([]int32, nBlocks+1)
 	for _, c := range h.cellOf {
 		counts[h.blockOfCell(c)+1]++
@@ -373,6 +432,17 @@ func (h *HierEngine) SetWorkers(w int) { h.workers = resolveWorkers(w) }
 // result looks suspect.
 func (h *HierEngine) SetFrontierMemo(on bool) { h.memo = on }
 
+// SetVectorized toggles the batch replay kernels of the memoized
+// receiver loop (on by default): the near-field scan and far-field
+// frontier replay run through the unrolled simd batch kernels instead
+// of plain element loops. The portable kernels preserve the scalar
+// summation order bit-exactly, so this toggle — mirroring
+// SetFrontierMemo — never changes results; it exists as the reference
+// path for the vectorization property tests and for debugging. (The
+// opt-in assembly tier, simd.SetUseAsm, is only consulted while
+// vectorization is on.)
+func (h *HierEngine) SetVectorized(on bool) { h.vec = on }
+
 // SetDeltaCrossover sets the churn fraction up to which consecutive
 // rounds update transmitter aggregates incrementally instead of
 // rebuilding (see DefaultDeltaCrossover); f ≤ 0 disables the delta
@@ -433,17 +503,29 @@ func (h *HierEngine) recomputeNode(lv int, idx int32) {
 	cur.py[idx] = py
 }
 
-// bumpHot adds d (±1) to the hot count of every base cell in the near
-// box of live cell c, tracking first-hot transitions.
+// bumpHot adds d (±1) to the hot count of every receiver block whose
+// cell extent the near box of live cell c touches, tracking first-hot
+// transitions. Working at block granularity costs at most
+// (⌈(2·nearCells+1)/frontierBlock⌉+1)² counter updates per transition —
+// ≤ 4 with the default geometry, versus the 81 per-cell bumps the same
+// near box used to pay — which is what keeps the delta path cheap under
+// churn. The coarsening is output-neutral: a station is now rejected
+// only when its whole block is cold, and a station in a cold cell of a
+// hot block still finds no transmitter within the communication range
+// during its near scan, so it decodes nothing either way.
 func (h *HierEngine) bumpHot(c int32, d int32) {
+	h.hotTransitions++
 	nc := h.nearCells
 	ccx, ccy := int(c)%h.cols, int(c)/h.cols
 	y0, y1 := max(ccy-nc, 0), min(ccy+nc, h.rows-1)
 	x0, x1 := max(ccx-nc, 0), min(ccx+nc, h.cols-1)
-	for cy := y0; cy <= y1; cy++ {
-		row := cy * h.cols
-		for cx := x0; cx <= x1; cx++ {
-			i := row + cx
+	bx0, bx1 := x0/frontierBlock, x1/frontierBlock
+	by0, by1 := y0/frontierBlock, y1/frontierBlock
+	for by := by0; by <= by1; by++ {
+		row := by * h.bcols
+		for bx := bx0; bx <= bx1; bx++ {
+			i := row + bx
+			h.hotBumps++
 			was := h.hotCnt[i]
 			h.hotCnt[i] = was + d
 			if d > 0 && was == 0 {
@@ -493,6 +575,7 @@ func (h *HierEngine) aggregateFresh(tx []int) {
 	for _, c := range l0.live {
 		h.bumpHot(c, +1)
 	}
+	h.aggEpoch++
 	h.haveRound = true
 }
 
@@ -571,6 +654,10 @@ func (h *HierEngine) dirtyCell(c int32) int32 {
 // ancestor chain recomputes from its children — bit-identical to a
 // fresh build, in O(Δ·(cellPop + log cells + transitions·nearBox²)).
 func (h *HierEngine) applyDelta() {
+	if len(h.departed)+len(h.arrived) == 0 {
+		return // identical round: aggregation (and epoch) unchanged
+	}
+	h.aggEpoch++
 	l0 := &h.levels[0]
 	h.gen++
 	h.dirtyCells = h.dirtyCells[:0]
@@ -680,12 +767,11 @@ func (h *HierEngine) compactLists() {
 	}
 	if len(h.hotList) > 2*h.hotCount+16 {
 		h.gen++
-		l0 := &h.levels[0]
 		keep := h.hotList[:0]
-		for _, c := range h.hotList {
-			if h.hotCnt[c] > 0 && l0.stamp[c] != h.gen {
-				l0.stamp[c] = h.gen
-				keep = append(keep, c)
+		for _, b := range h.hotList {
+			if h.hotCnt[b] > 0 && h.blockStamp[b] != h.gen {
+				h.blockStamp[b] = h.gen
+				keep = append(keep, b)
 			}
 		}
 		h.hotList = keep
@@ -697,17 +783,20 @@ func (h *HierEngine) compactLists() {
 // and the churn is below the crossover, a reset + fresh build
 // otherwise. Either way the resulting state is bit-identical.
 func (h *HierEngine) prepareRound(tx []int) {
-	h.roundGen++
 	// Generation counters wrap after ~10⁸ rounds; clear every stamp
 	// array then so a stale stamp can never collide with a fresh
 	// generation.
-	if h.gen > math.MaxUint32-64 || h.roundGen == math.MaxUint32 {
+	if h.gen > math.MaxUint32-64 || h.aggEpoch > math.MaxUint32-2 {
 		for lv := range h.levels {
 			clear(h.levels[lv].stamp)
 		}
 		clear(h.blockStamp)
 		clear(h.dirtyGen)
-		h.gen, h.roundGen = 0, 1
+		clear(h.farEpoch)
+		for i := range h.blockCache {
+			h.blockCache[i].epoch = 0
+		}
+		h.gen, h.aggEpoch = 0, 1
 		for i := range h.chunks {
 			h.chunks[i].cachedBlock = -1
 		}
@@ -755,16 +844,17 @@ func (h *HierEngine) checkTx(tx []int) {
 }
 
 // buildWorkList collects the round's occupied hot blocks — the only
-// blocks whose stations can decode anything (stations in cold cells of
-// a listed block are still skipped individually).
+// blocks whose stations can decode anything. The hot list is already
+// block-granular, so this is a filter pass (drop gone-cold and
+// unoccupied blocks, dedup stale duplicates), not a projection from
+// cells.
 func (h *HierEngine) buildWorkList() {
 	h.workList = h.workList[:0]
 	h.gen++
-	for _, c := range h.hotList {
-		if h.hotCnt[c] == 0 {
+	for _, b := range h.hotList {
+		if h.hotCnt[b] == 0 {
 			continue
 		}
-		b := h.blockOfCell(c)
 		if h.blockStart[b+1] > h.blockStart[b] && h.blockStamp[b] != h.gen {
 			h.blockStamp[b] = h.gen
 			h.workList = append(h.workList, b)
@@ -807,14 +897,12 @@ func (h *HierEngine) Resolve(tx []int) []Reception {
 	h.buildWorkList()
 	if h.workers > 1 && n >= h.minParallelN {
 		ensureRunner(&h.par, h, h.workers)
-		h.ensureChunks(h.par.pool.workers)
 		if h.shardFn == nil {
 			h.shardFn = h.runShard
 		}
 		h.out = h.par.runAndMerge(h.shardFn, h.out)
 	} else {
-		h.ensureChunks(1)
-		h.out = h.collectBlocks(&h.chunks[0], h.workList, nil, h.out[:0])
+		h.out = h.collectBlocks(h.workList, nil, h.out[:0])
 	}
 	// Cell-ordered collection emits receptions grouped by receiver
 	// cell; sort back to the ascending receiver order every engine
@@ -854,7 +942,6 @@ func (h *HierEngine) ResolveFor(tx []int, receivers []int) []Reception {
 		h.buildWorkList()
 		if h.workers > 1 && len(receivers) >= h.minParallelN {
 			ensureRunner(&h.par, h, h.workers)
-			h.ensureChunks(h.par.pool.workers)
 			if h.shardFn == nil {
 				h.shardFn = h.runShard
 			}
@@ -862,8 +949,7 @@ func (h *HierEngine) ResolveFor(tx []int, receivers []int) []Reception {
 			h.out = h.par.runAndMerge(h.shardFn, h.out)
 			h.curRecv = nil
 		} else {
-			h.ensureChunks(1)
-			h.out = h.collectBlocks(&h.chunks[0], h.workList, h.recvMask, h.out[:0])
+			h.out = h.collectBlocks(h.workList, h.recvMask, h.out[:0])
 		}
 		for _, u := range receivers {
 			h.recvMask[u] = false
@@ -918,7 +1004,7 @@ func (h *HierEngine) runShard(shard int) {
 	if h.curRecv != nil {
 		mask = h.recvMask
 	}
-	h.par.shardOut[shard] = h.collectBlocks(&h.chunks[shard], h.workList[lo:hi], mask, h.par.shardOut[shard][:0])
+	h.par.shardOut[shard] = h.collectBlocks(h.workList[lo:hi], mask, h.par.shardOut[shard][:0])
 }
 
 // runShardFor resolves the shard-th contiguous slice of a ResolveFor
@@ -940,10 +1026,10 @@ func (h *HierEngine) runShardFor(shard int) {
 // chunk's slabs, in (cell-row, cell-col, list) scan order. Every
 // receiver of the block sums all of them exactly: a superset of its
 // own near box, so the exact region only grows.
-func (h *HierEngine) gatherNear(ch *hierChunk, bx0, by0, bx1, by1 int) {
-	ch.nearID = ch.nearID[:0]
-	ch.nearX = ch.nearX[:0]
-	ch.nearY = ch.nearY[:0]
+func (h *HierEngine) gatherNear(sl *blockSlabs, bx0, by0, bx1, by1 int) {
+	sl.nearID = sl.nearID[:0]
+	sl.nearX = sl.nearX[:0]
+	sl.nearY = sl.nearY[:0]
 	nc := h.nearCells
 	y0, y1 := max(by0-nc, 0), min(by1+nc, h.rows-1)
 	x0, x1 := max(bx0-nc, 0), min(bx1+nc, h.cols-1)
@@ -951,9 +1037,9 @@ func (h *HierEngine) gatherNear(ch *hierChunk, bx0, by0, bx1, by1 int) {
 		row := cy * h.cols
 		for cx := x0; cx <= x1; cx++ {
 			for _, t := range h.txInCell[row+cx] {
-				ch.nearID = append(ch.nearID, t)
-				ch.nearX = append(ch.nearX, h.ptsX[t])
-				ch.nearY = append(ch.nearY, h.ptsY[t])
+				sl.nearID = append(sl.nearID, t)
+				sl.nearX = append(sl.nearX, h.ptsX[t])
+				sl.nearY = append(sl.nearY, h.ptsY[t])
 			}
 		}
 	}
@@ -971,10 +1057,10 @@ func (h *HierEngine) gatherNear(ch *hierChunk, bx0, by0, bx1, by1 int) {
 // a refinement of what any single receiver's own θ test would accept:
 // receivers in the block share one descent and one set of
 // center-of-mass divisions, at equal or better accuracy.
-func (h *HierEngine) buildFrontier(ch *hierChunk, bx0c, by0c, bx1c, by1c int) {
-	ch.evX = ch.evX[:0]
-	ch.evY = ch.evY[:0]
-	ch.evP = ch.evP[:0]
+func (h *HierEngine) buildFrontier(sl *blockSlabs, bx0c, by0c, bx1c, by1c int) {
+	sl.evX = sl.evX[:0]
+	sl.evY = sl.evY[:0]
+	sl.evP = sl.evP[:0]
 	rx0 := h.minX + float64(bx0c)*h.cellSize - h.rectPad
 	rx1 := h.minX + float64(bx1c+1)*h.cellSize + h.rectPad
 	ry0 := h.minY + float64(by0c)*h.cellSize - h.rectPad
@@ -1017,9 +1103,9 @@ func (h *HierEngine) buildFrontier(ch *hierChunk, bx0c, by0c, bx1c, by1c int) {
 				accept = lv.diam2 <= theta2*(dxn*dxn+dyn*dyn)
 			}
 			if accept {
-				ch.evX = append(ch.evX, cx)
-				ch.evY = append(ch.evY, cy)
-				ch.evP = append(ch.evP, pow)
+				sl.evX = append(sl.evX, cx)
+				sl.evY = append(sl.evY, cy)
+				sl.evP = append(sl.evP, pow)
 				continue
 			}
 		} else if nd.lv == 0 {
@@ -1046,7 +1132,11 @@ func (h *HierEngine) buildFrontier(ch *hierChunk, bx0c, by0c, bx1c, by1c int) {
 // slabs: an exact linear scan of the gathered near field (which also
 // elects the decoding candidate), then the frontier replay — accepted
 // nodes as flat multiply-adds, undecided subtrees by exact descent.
-func (h *HierEngine) resolveReceiver(ch *hierChunk, u int32, dst []Reception) []Reception {
+// Both loops normally run through the simd batch kernels (bit-exact
+// unrolled scans, plus the opt-in assembly tier for the far replay);
+// SetVectorized(false) restores the plain element loops below as the
+// reference.
+func (h *HierEngine) resolveReceiver(sl *blockSlabs, u int32, dst []Reception) []Reception {
 	p := h.params
 	pw := p.Power()
 	kern := h.kern
@@ -1055,15 +1145,32 @@ func (h *HierEngine) resolveReceiver(ch *hierChunk, u int32, dst []Reception) []
 	total := 0.0
 	bestD2 := math.Inf(1)
 	best := int32(-1)
-	nx, ny, nid := ch.nearX, ch.nearY, ch.nearID
-	for i := range nx {
-		dx := upx - nx[i]
-		dy := upy - ny[i]
-		d2 := dx*dx + dy*dy
-		total += pw * kern.FromDist2(d2)
-		if d2 < bestD2 {
-			bestD2 = d2
-			best = nid[i]
+	nx, ny, nid := sl.nearX, sl.nearY, sl.nearID
+	if h.vec {
+		// Rejection first: a pure-distance argmin with no kernel math.
+		// Most stations of a hot block have no transmitter within the
+		// communication range (only their block is hot, not their cell)
+		// and bow out here without a single divide or square root. Only
+		// decode candidates pay the kernel fold — which accumulates in
+		// the same index order, so the split is bit-identical to the
+		// fused scalar scan below (a rejected station's total is never
+		// observed).
+		bi, bd2 := simd.ArgMin(upx, upy, nx, ny, bestD2)
+		if bi < 0 || bd2 > 1 {
+			return dst
+		}
+		best, bestD2 = nid[bi], bd2
+		total = kern.NearSum(pw, upx, upy, nx, ny, total)
+	} else {
+		for i := range nx {
+			dx := upx - nx[i]
+			dy := upy - ny[i]
+			d2 := dx*dx + dy*dy
+			total += pw * kern.FromDist2(d2)
+			if d2 < bestD2 {
+				bestD2 = d2
+				best = nid[i]
+			}
 		}
 	}
 	if best < 0 || bestD2 > 1 {
@@ -1071,11 +1178,21 @@ func (h *HierEngine) resolveReceiver(ch *hierChunk, u int32, dst []Reception) []
 	}
 
 	far := 0.0
-	evX, evY, evP := ch.evX, ch.evY, ch.evP
-	for i := range evX {
-		dx := upx - evX[i]
-		dy := upy - evY[i]
-		far += evP[i] * kern.FromDist2(dx*dx+dy*dy)
+	if h.farEpoch[u] == h.aggEpoch {
+		far = h.farCache[u]
+	} else {
+		evX, evY, evP := sl.evX, sl.evY, sl.evP
+		if h.vec {
+			far = kern.FarSumFast(upx, upy, evX, evY, evP)
+		} else {
+			for i := range evX {
+				dx := upx - evX[i]
+				dy := upy - evY[i]
+				far += evP[i] * kern.FromDist2(dx*dx+dy*dy)
+			}
+		}
+		h.farCache[u] = far
+		h.farEpoch[u] = h.aggEpoch
 	}
 	total += far
 
@@ -1090,49 +1207,61 @@ func (h *HierEngine) resolveReceiver(ch *hierChunk, u int32, dst []Reception) []
 	return dst
 }
 
-// collectBlocks resolves every (non-transmitting, hot-celled,
-// unmasked) station of the listed blocks, building each block's near
-// slab and frontier once, lazily on its first eligible receiver.
+// collectBlocks resolves every non-transmitting, unmasked station of
+// the listed blocks (which are hot by construction of the work list)
+// against the per-block slab cache: a block whose entry carries the
+// current aggregation epoch replays its slabs as-is, otherwise the near
+// gather and shared descent rebuild them — lazily, on the block's first
+// eligible receiver — and restamp the entry. Blocks are partitioned
+// across shards, so each cache entry has a single writer per round.
 // Receptions come out grouped by block; the caller sorts by receiver.
-func (h *HierEngine) collectBlocks(ch *hierChunk, blocks []int32, mask []bool, dst []Reception) []Reception {
+func (h *HierEngine) collectBlocks(blocks []int32, mask []bool, dst []Reception) []Reception {
 	for _, b := range blocks {
-		bx0, by0, bx1, by1 := h.blockCellRange(b)
-		built := false
+		bc := &h.blockCache[b]
+		fresh := bc.epoch == h.aggEpoch
 		for si := h.blockStart[b]; si < h.blockStart[b+1]; si++ {
 			u := h.blockItems[si]
-			if h.isTx[u] || h.hotCnt[h.cellOf[u]] == 0 || (mask != nil && !mask[u]) {
+			if h.isTx[u] || (mask != nil && !mask[u]) {
 				continue
 			}
-			if !built {
-				h.gatherNear(ch, bx0, by0, bx1, by1)
-				h.buildFrontier(ch, bx0, by0, bx1, by1)
-				built = true
+			if !fresh {
+				bx0, by0, bx1, by1 := h.blockCellRange(b)
+				h.gatherNear(&bc.blockSlabs, bx0, by0, bx1, by1)
+				h.buildFrontier(&bc.blockSlabs, bx0, by0, bx1, by1)
+				bc.epoch = h.aggEpoch
+				fresh = true
 			}
-			dst = h.resolveReceiver(ch, u, dst)
+			dst = h.resolveReceiver(&bc.blockSlabs, u, dst)
 		}
 	}
 	return dst
 }
 
 // collectList resolves an explicit ascending receiver list with the
-// memoized slabs, caching the most recent block per chunk — scattered
-// small subsets degrade gracefully to one build per receiver, which
-// costs about one unmemoized descent each.
+// memoized slabs. The shared per-block cache is read when its epoch is
+// current (receiver-partitioned shards may visit the same block, so
+// this path never writes it); on a miss the chunk's private slabs are
+// built and keyed by (block, epoch) — scattered small subsets degrade
+// gracefully to one build per receiver, which costs about one
+// unmemoized descent each.
 func (h *HierEngine) collectList(ch *hierChunk, receivers []int, dst []Reception) []Reception {
 	for _, u := range receivers {
-		c := h.cellOf[u]
-		if h.hotCnt[c] == 0 || h.isTx[u] {
+		b := h.blockOfCell(h.cellOf[u])
+		if h.hotCnt[b] == 0 || h.isTx[u] {
 			continue
 		}
-		b := h.blockOfCell(c)
-		if ch.cachedBlock != b || ch.cachedRound != h.roundGen {
-			bx0, by0, bx1, by1 := h.blockCellRange(b)
-			h.gatherNear(ch, bx0, by0, bx1, by1)
-			h.buildFrontier(ch, bx0, by0, bx1, by1)
-			ch.cachedBlock = b
-			ch.cachedRound = h.roundGen
+		sl := &h.blockCache[b].blockSlabs
+		if h.blockCache[b].epoch != h.aggEpoch {
+			if ch.cachedBlock != b || ch.cachedEpoch != h.aggEpoch {
+				bx0, by0, bx1, by1 := h.blockCellRange(b)
+				h.gatherNear(&ch.blockSlabs, bx0, by0, bx1, by1)
+				h.buildFrontier(&ch.blockSlabs, bx0, by0, bx1, by1)
+				ch.cachedBlock = b
+				ch.cachedEpoch = h.aggEpoch
+			}
+			sl = &ch.blockSlabs
 		}
-		dst = h.resolveReceiver(ch, int32(u), dst)
+		dst = h.resolveReceiver(sl, int32(u), dst)
 	}
 	return dst
 }
@@ -1162,7 +1291,7 @@ func (h *HierEngine) collectListDescent(receivers []int, dst []Reception) []Rece
 // the output — are identical for every sharding.
 func (h *HierEngine) collectOne(u int, dst []Reception) []Reception {
 	uc := h.cellOf[u]
-	if h.hotCnt[uc] == 0 || h.isTx[u] {
+	if h.hotCnt[h.blockOfCell(uc)] == 0 || h.isTx[u] {
 		return dst
 	}
 	p := h.params

@@ -1,0 +1,65 @@
+//go:build amd64 && !purego
+
+package simd
+
+// hasAsm is fixed at init: the assembly tier exists in this build, so
+// availability is purely a CPU question (AVX2 plus OS-enabled YMM
+// state).
+var hasAsm = detectAVX2()
+
+// detectAVX2 runs the standard CPUID/XGETBV dance: AVX needs both the
+// CPU bit and the OS to have enabled XMM+YMM state saving (OSXSAVE +
+// XCR0), and AVX2 is a leaf-7 feature on top of that.
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c, _ := cpuidex(1, 0)
+	const (
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	if c&osxsaveBit == 0 || c&avxBit == 0 {
+		return false
+	}
+	if xgetbv0()&6 != 6 { // XCR0: XMM (bit 1) and YMM (bit 2) state
+		return false
+	}
+	_, b, _, _ := cpuidex(7, 0)
+	const avx2Bit = 1 << 5
+	return b&avx2Bit != 0
+}
+
+// cpuidex and xgetbv0 are implemented in asm_amd64.s.
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() uint64
+
+// farSumInvSqAVX2 and farSumInvQuadAVX2 (asm_amd64.s) sum the 4-aligned
+// prefix in one 4-lane YMM accumulator and reduce the lanes in index
+// order; the Go wrappers fold the ≤3-element tail after the reduce, so
+// the asm path's summation order is fixed and reproducible — just not
+// the scalar left-to-right order.
+func farSumInvSqAVX2(upx, upy float64, x, y, p []float64) float64
+func farSumInvQuadAVX2(upx, upy float64, x, y, p []float64) float64
+
+func asmFarSumInvSq(upx, upy float64, x, y, p []float64) float64 {
+	n := len(x) &^ 3
+	sum := farSumInvSqAVX2(upx, upy, x[:n], y[:n], p[:n])
+	for i := n; i < len(x); i++ {
+		dx, dy := upx-x[i], upy-y[i]
+		sum += p[i] * (1 / (dx*dx + dy*dy))
+	}
+	return sum
+}
+
+func asmFarSumInvQuad(upx, upy float64, x, y, p []float64) float64 {
+	n := len(x) &^ 3
+	sum := farSumInvQuadAVX2(upx, upy, x[:n], y[:n], p[:n])
+	for i := n; i < len(x); i++ {
+		dx, dy := upx-x[i], upy-y[i]
+		d2 := dx*dx + dy*dy
+		sum += p[i] * (1 / (d2 * d2))
+	}
+	return sum
+}

@@ -1,0 +1,119 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// Shared constant: 1.0, broadcast as the dividend for the reciprocal.
+DATA one<>+0(SB)/8, $0x3FF0000000000000
+GLOBL one<>(SB), RODATA|NOPTR, $8
+
+// func farSumInvSqAVX2(upx, upy float64, x, y, p []float64) float64
+//
+// Caller guarantees len(x) == len(y) == len(p) and len(x)%4 == 0.
+// One YMM accumulator (4 lanes), per iteration:
+//   acc += p[i..i+3] * (1 / ((upx-x)² + (upy-y)²))
+// then an in-index-order lane reduce (((l0+l1)+l2)+l3).
+TEXT ·farSumInvSqAVX2(SB), NOSPLIT, $0-96
+	VBROADCASTSD upx+0(FP), Y0
+	VBROADCASTSD upy+8(FP), Y1
+	MOVQ x_base+16(FP), SI
+	MOVQ y_base+40(FP), DI
+	MOVQ p_base+64(FP), DX
+	MOVQ x_len+24(FP), CX
+	VXORPD Y2, Y2, Y2          // acc = 0
+	VBROADCASTSD one<>(SB), Y3 // 1.0 per lane
+	SHRQ $2, CX
+	JZ   reduce
+
+loop:
+	VMOVUPD (SI), Y4           // x
+	VMOVUPD (DI), Y5           // y
+	VSUBPD  Y4, Y0, Y4         // dx = upx - x
+	VSUBPD  Y5, Y1, Y5         // dy = upy - y
+	VMULPD  Y4, Y4, Y4         // dx²
+	VMULPD  Y5, Y5, Y5         // dy²
+	VADDPD  Y5, Y4, Y4         // d² = dx² + dy²
+	VDIVPD  Y4, Y3, Y4         // 1/d²
+	VMOVUPD (DX), Y6           // p
+	VMULPD  Y6, Y4, Y4         // p/d²
+	VADDPD  Y4, Y2, Y2         // acc +=
+	ADDQ $32, SI
+	ADDQ $32, DI
+	ADDQ $32, DX
+	DECQ CX
+	JNZ  loop
+
+reduce:
+	VEXTRACTF128 $1, Y2, X5    // lanes 2,3; X2 holds lanes 0,1
+	VSHUFPD $1, X2, X2, X6     // lane 1
+	VADDSD  X6, X2, X2         // l0 + l1
+	VADDSD  X5, X2, X2         // + l2
+	VSHUFPD $1, X5, X5, X6     // lane 3
+	VADDSD  X6, X2, X2         // + l3
+	VZEROUPPER
+	MOVSD X2, ret+88(FP)
+	RET
+
+// func farSumInvQuadAVX2(upx, upy float64, x, y, p []float64) float64
+//
+// Same contract as farSumInvSqAVX2 with the α=4 term p/(d²·d²).
+TEXT ·farSumInvQuadAVX2(SB), NOSPLIT, $0-96
+	VBROADCASTSD upx+0(FP), Y0
+	VBROADCASTSD upy+8(FP), Y1
+	MOVQ x_base+16(FP), SI
+	MOVQ y_base+40(FP), DI
+	MOVQ p_base+64(FP), DX
+	MOVQ x_len+24(FP), CX
+	VXORPD Y2, Y2, Y2
+	VBROADCASTSD one<>(SB), Y3
+	SHRQ $2, CX
+	JZ   reduce
+
+loop:
+	VMOVUPD (SI), Y4
+	VMOVUPD (DI), Y5
+	VSUBPD  Y4, Y0, Y4
+	VSUBPD  Y5, Y1, Y5
+	VMULPD  Y4, Y4, Y4
+	VMULPD  Y5, Y5, Y5
+	VADDPD  Y5, Y4, Y4         // d²
+	VMULPD  Y4, Y4, Y4         // d²·d²
+	VDIVPD  Y4, Y3, Y4         // 1/(d²·d²)
+	VMOVUPD (DX), Y6
+	VMULPD  Y6, Y4, Y4
+	VADDPD  Y4, Y2, Y2
+	ADDQ $32, SI
+	ADDQ $32, DI
+	ADDQ $32, DX
+	DECQ CX
+	JNZ  loop
+
+reduce:
+	VEXTRACTF128 $1, Y2, X5
+	VSHUFPD $1, X2, X2, X6
+	VADDSD  X6, X2, X2
+	VADDSD  X5, X2, X2
+	VSHUFPD $1, X5, X5, X6
+	VADDSD  X6, X2, X2
+	VZEROUPPER
+	MOVSD X2, ret+88(FP)
+	RET
+
+// func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() uint64
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	SHLQ $32, DX
+	ORQ  DX, AX
+	MOVQ AX, ret+0(FP)
+	RET

@@ -1,0 +1,17 @@
+//go:build !amd64 || purego
+
+package simd
+
+// No assembly tier in this build: SetUseAsm(true) is refused and
+// FarSumFast always takes the portable path. The stubs below keep the
+// dispatch code compiling; they are unreachable because useAsm can
+// never be true here.
+const hasAsm = false
+
+func asmFarSumInvSq(upx, upy float64, x, y, p []float64) float64 {
+	return farSumInvSq(upx, upy, x, y, p)
+}
+
+func asmFarSumInvQuad(upx, upy float64, x, y, p []float64) float64 {
+	return farSumInvQuad(upx, upy, x, y, p)
+}

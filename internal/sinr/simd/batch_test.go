@@ -1,0 +1,275 @@
+package simd
+
+import (
+	"math"
+	"testing"
+
+	"sinrcast/internal/rng"
+)
+
+// batchAlphas covers every kernel mode: the two reciprocal shapes, the
+// specialized odd/half batch bodies (α=3, α=2.5), their generic
+// siblings (α=5, α=3.5), an even chain (α=6) and the Pow fallback.
+var batchAlphas = []float64{2, 2.5, 3, 3.5, 4, 5, 6, math.Pi}
+
+// batchLens fuzzes the tail handling: every residue mod 8 below and
+// above the unroll widths, plus longer slabs.
+var batchLens = []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 12, 13, 15, 16, 17, 31, 32, 33, 63, 64, 67}
+
+func randSlabs(r *rng.Source, n int) (x, y, p []float64) {
+	x = make([]float64, n)
+	y = make([]float64, n)
+	p = make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = r.Range(-50, 50)
+		y[i] = r.Range(-50, 50)
+		p[i] = r.Range(0.1, 3)
+	}
+	return
+}
+
+func TestFarSumBitIdenticalToScalar(t *testing.T) {
+	r := rng.New(7)
+	for _, alpha := range batchAlphas {
+		k := NewKernel(alpha)
+		for _, n := range batchLens {
+			x, y, p := randSlabs(r, n)
+			upx, upy := r.Range(-60, 60), r.Range(-60, 60)
+			want := 0.0
+			for i := 0; i < n; i++ {
+				dx, dy := upx-x[i], upy-y[i]
+				want += p[i] * k.FromDist2(dx*dx+dy*dy)
+			}
+			if got := k.FarSum(upx, upy, x, y, p); got != want {
+				t.Fatalf("alpha=%v n=%d: FarSum=%v scalar=%v (diff %g)",
+					alpha, n, got, want, got-want)
+			}
+		}
+	}
+}
+
+func TestNearScanBitIdenticalToScalar(t *testing.T) {
+	r := rng.New(8)
+	for _, alpha := range batchAlphas {
+		k := NewKernel(alpha)
+		for _, n := range batchLens {
+			x, y, _ := randSlabs(r, n)
+			upx, upy := r.Range(-60, 60), r.Range(-60, 60)
+			pw := r.Range(0.5, 2)
+			// Exercise both a fresh scan and a continued one with a
+			// standing best the slab may or may not beat.
+			for _, start := range []float64{math.Inf(1), r.Range(100, 5000)} {
+				startTotal := r.Range(0, 10)
+				wTotal, wBest, wBD2 := startTotal, -1, start
+				for i := 0; i < n; i++ {
+					dx, dy := upx-x[i], upy-y[i]
+					d2 := dx*dx + dy*dy
+					wTotal += pw * k.FromDist2(d2)
+					if d2 < wBD2 {
+						wBD2, wBest = d2, i
+					}
+				}
+				gTotal, gBest, gBD2 := k.NearScan(pw, upx, upy, x, y, startTotal, start)
+				if gTotal != wTotal || gBest != wBest || gBD2 != wBD2 {
+					t.Fatalf("alpha=%v n=%d start=%v: NearScan=(%v,%d,%v) scalar=(%v,%d,%v)",
+						alpha, n, start, gTotal, gBest, gBD2, wTotal, wBest, wBD2)
+				}
+			}
+		}
+	}
+}
+
+func TestNearScanIndexedBitIdenticalToScalar(t *testing.T) {
+	r := rng.New(9)
+	ptsX, ptsY, _ := randSlabs(r, 200)
+	for _, alpha := range batchAlphas {
+		k := NewKernel(alpha)
+		for _, n := range batchLens {
+			ids := make([]int32, n)
+			for i := range ids {
+				ids[i] = int32(r.Intn(200))
+			}
+			upx, upy := r.Range(-60, 60), r.Range(-60, 60)
+			pw := r.Range(0.5, 2)
+			startTotal := r.Range(0, 10)
+			start := r.Range(0.5, 3000)
+			wTotal, wBest, wBD2 := startTotal, int32(-1), start
+			for _, id := range ids {
+				dx, dy := upx-ptsX[id], upy-ptsY[id]
+				d2 := dx*dx + dy*dy
+				wTotal += pw * k.FromDist2(d2)
+				if d2 < wBD2 {
+					wBD2, wBest = d2, id
+				}
+			}
+			gTotal, gBest, gBD2 := k.NearScanIndexed(pw, upx, upy, ids, ptsX, ptsY, startTotal, start)
+			if gTotal != wTotal || gBest != wBest || gBD2 != wBD2 {
+				t.Fatalf("alpha=%v n=%d: NearScanIndexed=(%v,%d,%v) scalar=(%v,%d,%v)",
+					alpha, n, gTotal, gBest, gBD2, wTotal, wBest, wBD2)
+			}
+		}
+	}
+}
+
+func TestAccumRowBitIdenticalToScalar(t *testing.T) {
+	r := rng.New(10)
+	for _, alpha := range batchAlphas {
+		k := NewKernel(alpha)
+		for _, n := range batchLens {
+			x, y, _ := randSlabs(r, n)
+			isTx := make([]bool, n)
+			for i := range isTx {
+				isTx[i] = r.Intn(5) == 0
+			}
+			pw := r.Range(0.5, 2)
+			tx0, ty0 := r.Range(-60, 60), r.Range(-60, 60)
+			wSig := make([]float64, n)
+			wBD := make([]float64, n)
+			wBest := make([]int32, n)
+			gSig := make([]float64, n)
+			gBD := make([]float64, n)
+			gBest := make([]int32, n)
+			for i := 0; i < n; i++ {
+				wSig[i] = r.Range(0, 5)
+				gSig[i] = wSig[i]
+				wBD[i] = r.Range(0.5, 4000)
+				gBD[i] = wBD[i]
+				wBest[i] = int32(r.Intn(50)) - 1
+				gBest[i] = wBest[i]
+			}
+			const tid = int32(321)
+			for i := 0; i < n; i++ {
+				if isTx[i] {
+					continue
+				}
+				dx := x[i] - tx0
+				dy := y[i] - ty0
+				d2 := dx*dx + dy*dy
+				wSig[i] += pw * k.FromDist2(d2)
+				if d2 < wBD[i] {
+					wBD[i] = d2
+					wBest[i] = tid
+				}
+			}
+			k.AccumRow(pw, tx0, ty0, tid, x, y, isTx, gSig, gBD, gBest)
+			for i := 0; i < n; i++ {
+				if gSig[i] != wSig[i] || gBD[i] != wBD[i] || gBest[i] != wBest[i] {
+					t.Fatalf("alpha=%v n=%d i=%d: AccumRow=(%v,%v,%d) scalar=(%v,%v,%d)",
+						alpha, n, i, gSig[i], gBD[i], gBest[i], wSig[i], wBD[i], wBest[i])
+				}
+			}
+		}
+	}
+}
+
+// asmDisagreementBound is the measured-disagreement contract of the
+// assembly tier: all terms are positive, so the 4-lane reorder can only
+// shift the relative error by O(n·ε) with no cancellation — 1e-13
+// leaves an order of magnitude of headroom over the worst case observed
+// across the fuzzed slabs.
+const asmDisagreementBound = 1e-13
+
+func TestFarSumFastAsmBoundedDisagreement(t *testing.T) {
+	if !AsmAvailable() {
+		t.Skip("assembly tier unavailable on this CPU/build")
+	}
+	if !SetUseAsm(true) {
+		t.Fatal("SetUseAsm(true) refused despite AsmAvailable")
+	}
+	defer SetUseAsm(false)
+	r := rng.New(11)
+	for _, alpha := range []float64{2, 4} {
+		k := NewKernel(alpha)
+		for _, n := range batchLens {
+			x, y, p := randSlabs(r, n)
+			upx, upy := r.Range(-60, 60), r.Range(-60, 60)
+			want := k.FarSum(upx, upy, x, y, p)
+			got := k.FarSumFast(upx, upy, x, y, p)
+			if want == got {
+				continue
+			}
+			rel := math.Abs(got-want) / math.Abs(want)
+			if rel > asmDisagreementBound || math.IsNaN(rel) {
+				t.Fatalf("alpha=%v n=%d: asm=%v portable=%v rel=%g exceeds %g",
+					alpha, n, got, want, rel, asmDisagreementBound)
+			}
+		}
+	}
+}
+
+func TestFarSumFastWithoutOptInIsPortable(t *testing.T) {
+	SetUseAsm(false)
+	r := rng.New(12)
+	for _, alpha := range batchAlphas {
+		k := NewKernel(alpha)
+		x, y, p := randSlabs(r, 37)
+		upx, upy := r.Range(-60, 60), r.Range(-60, 60)
+		if got, want := k.FarSumFast(upx, upy, x, y, p), k.FarSum(upx, upy, x, y, p); got != want {
+			t.Fatalf("alpha=%v: FarSumFast without opt-in = %v, want portable %v", alpha, got, want)
+		}
+	}
+}
+
+func TestSetUseAsmSemantics(t *testing.T) {
+	defer SetUseAsm(false)
+	if UsingAsm() {
+		t.Fatal("asm on by default")
+	}
+	ok := SetUseAsm(true)
+	if ok != AsmAvailable() {
+		t.Fatalf("SetUseAsm(true) = %v, want AsmAvailable() = %v", ok, AsmAvailable())
+	}
+	if UsingAsm() != AsmAvailable() {
+		t.Fatalf("UsingAsm() = %v after opt-in, want %v", UsingAsm(), AsmAvailable())
+	}
+	if !SetUseAsm(false) {
+		t.Fatal("SetUseAsm(false) must always succeed")
+	}
+	if UsingAsm() {
+		t.Fatal("UsingAsm() true after SetUseAsm(false)")
+	}
+}
+
+func TestArgMinBitIdenticalToScalar(t *testing.T) {
+	r := rng.New(13)
+	for _, n := range batchLens {
+		x, y, _ := randSlabs(r, n)
+		upx, upy := r.Range(-60, 60), r.Range(-60, 60)
+		for _, start := range []float64{math.Inf(1), r.Range(100, 5000)} {
+			wBest, wBD2 := -1, start
+			for i := 0; i < n; i++ {
+				dx, dy := upx-x[i], upy-y[i]
+				d2 := dx*dx + dy*dy
+				if d2 < wBD2 {
+					wBD2, wBest = d2, i
+				}
+			}
+			gBest, gBD2 := ArgMin(upx, upy, x, y, start)
+			if gBest != wBest || gBD2 != wBD2 {
+				t.Fatalf("n=%d start=%v: ArgMin=(%d,%v) scalar=(%d,%v)",
+					n, start, gBest, gBD2, wBest, wBD2)
+			}
+		}
+	}
+}
+
+// TestNearSumMatchesNearScanTotal pins the rejection/accumulation split:
+// NearSum's fold must be bit-identical to the total a fused NearScan
+// computes over the same slab, for every kernel mode and tail length.
+func TestNearSumMatchesNearScanTotal(t *testing.T) {
+	r := rng.New(14)
+	for _, alpha := range batchAlphas {
+		k := NewKernel(alpha)
+		for _, n := range batchLens {
+			x, y, _ := randSlabs(r, n)
+			upx, upy := r.Range(-60, 60), r.Range(-60, 60)
+			pw := r.Range(0.5, 2)
+			startTotal := r.Range(0, 10)
+			want, _, _ := k.NearScan(pw, upx, upy, x, y, startTotal, math.Inf(1))
+			if got := k.NearSum(pw, upx, upy, x, y, startTotal); got != want {
+				t.Fatalf("alpha=%v n=%d: NearSum=%v NearScan total=%v (diff %g)",
+					alpha, n, got, want, got-want)
+			}
+		}
+	}
+}

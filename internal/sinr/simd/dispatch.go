@@ -1,0 +1,50 @@
+package simd
+
+import "sync/atomic"
+
+// useAsm gates the assembly tier at runtime. It is process-global and
+// off by default: the portable batch kernels are bit-identical to the
+// scalar loops, while the asm lanes reorder the summation, so turning
+// asm on is an explicit per-process choice (benchmarks, bulk sweeps)
+// rather than something CPU detection silently flips.
+var useAsm atomic.Bool
+
+// AsmAvailable reports whether an assembly kernel tier exists in this
+// build and the CPU supports it (amd64 with AVX2, not built with the
+// purego tag).
+func AsmAvailable() bool { return hasAsm }
+
+// SetUseAsm requests the assembly tier for the kernels that have one
+// (currently the α=2 and α=4 far-field replay via FarSumFast). It
+// reports whether the request took effect: enabling returns false and
+// stays off when AsmAvailable is false. Safe for concurrent use.
+func SetUseAsm(on bool) bool {
+	if on && !hasAsm {
+		useAsm.Store(false)
+		return false
+	}
+	useAsm.Store(on)
+	return true
+}
+
+// UsingAsm reports whether FarSumFast currently dispatches to assembly
+// for the shapes that have an assembly kernel.
+func UsingAsm() bool { return useAsm.Load() }
+
+// FarSumFast is FarSum with the assembly tier allowed: when asm is
+// compiled in, the CPU supports it, and SetUseAsm(true) was called, the
+// α=2 and α=4 shapes run the AVX2 kernel (4 parallel accumulator
+// lanes, deterministic in-order lane reduce — a fixed summation order,
+// just not the scalar one). Every other configuration falls through to
+// the bit-exact portable FarSum.
+func (k Kernel) FarSumFast(upx, upy float64, x, y, p []float64) float64 {
+	if useAsm.Load() {
+		switch k.mode {
+		case kernInvSq:
+			return asmFarSumInvSq(upx, upy, x, y, p)
+		case kernInvQuad:
+			return asmFarSumInvQuad(upx, upy, x, y, p)
+		}
+	}
+	return k.FarSum(upx, upy, x, y, p)
+}

@@ -1,4 +1,4 @@
-package sinr
+package simd
 
 import (
 	"math"

@@ -1,0 +1,21 @@
+//go:build purego || !amd64
+
+package simd
+
+import "testing"
+
+// TestPortableFallbackSelected pins the cross-build contract: on builds
+// without the assembly tier (purego tag, or any non-amd64 GOARCH) the
+// portable path must be reported unavailable and the opt-in must be
+// refused, so FarSumFast is exactly FarSum.
+func TestPortableFallbackSelected(t *testing.T) {
+	if AsmAvailable() {
+		t.Fatal("AsmAvailable() = true in a build without the assembly tier")
+	}
+	if SetUseAsm(true) {
+		t.Fatal("SetUseAsm(true) accepted without an assembly tier")
+	}
+	if UsingAsm() {
+		t.Fatal("UsingAsm() = true after a refused opt-in")
+	}
+}

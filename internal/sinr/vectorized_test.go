@@ -1,0 +1,172 @@
+// Vectorization equivalence: the batch-kernel replay (SetVectorized,
+// on by default) must be bit-identical to the plain scalar loops on the
+// portable path, and the opt-in assembly tier may only perturb results
+// within a tiny measured bound. Frontier and near-slab lengths vary
+// freely with the topology and churn, so the sequences below also fuzz
+// the unroll tails (length mod 4/8) through the engine.
+package sinr_test
+
+import (
+	"fmt"
+	"testing"
+
+	"sinrcast/internal/rng"
+	"sinrcast/internal/sinr"
+	"sinrcast/internal/sinr/simd"
+)
+
+// TestVectorizedReplayBitIdentity drives a vectorized engine and a
+// SetVectorized(false) reference through identical round sequences —
+// whole rounds and ResolveFor subsets (both the small list path and the
+// masked large path) — across the three topology families and the three
+// bench exponents, requiring byte-identical receptions throughout.
+func TestVectorizedReplayBitIdentity(t *testing.T) {
+	families := []struct{ name, spec string }{
+		{"uniform", "uniform:n=640,density=8"},
+		{"starclusters", "starclusters:arms=4,m=60,hops=40"},
+		{"gridholes", "gridholes:n=640,spacing=0.45"},
+	}
+	alphas := []float64{2, 2.5, 4}
+	for _, fam := range families {
+		for _, alpha := range alphas {
+			t.Run(fmt.Sprintf("%s/alpha=%g", fam.name, alpha), func(t *testing.T) {
+				eu := seqScene(t, fam.spec, 31000+uint64(alpha*10))
+				n := eu.Len()
+				p := sinr.DefaultParams()
+				mk := func(vec bool) *sinr.HierEngine {
+					h, err := sinr.NewHierEngine(eu, p, sinr.DefaultCellSize, sinr.DefaultNearRadius, sinr.DefaultTheta)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sinr.SetAlphaForTest(h, alpha)
+					h.SetWorkers(1)
+					h.SetVectorized(vec)
+					return h
+				}
+				vec, scalar := mk(true), mk(false)
+				r := rng.New(uint64(len(fam.name))*77 + uint64(alpha*4))
+				var tx []int
+				for round := 0; round < 24; round++ {
+					churn := []float64{0.05, 0.2, 0.6}[round%3]
+					tx = evolveTx(r, n, tx, churn, 0.05)
+					label := fmt.Sprintf("%s/a=%g round=%d", fam.name, alpha, round)
+					switch round % 3 {
+					case 2:
+						pr := 0.04 // small subsets: the lazily cached collectList path
+						if round%2 == 0 {
+							pr = 0.5 // large subsets: the masked whole-round path
+						}
+						sub := sortedSubset(r, n, pr)
+						if len(sub) == 0 {
+							continue
+						}
+						want := append([]sinr.Reception(nil), scalar.ResolveFor(tx, sub)...)
+						diffRec(t, label+" vecFor", want, vec.ResolveFor(tx, sub))
+					default:
+						want := append([]sinr.Reception(nil), scalar.Resolve(tx)...)
+						diffRec(t, label+" vec", want, vec.Resolve(tx))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestVectorizedAsmBoundedDisagreement turns the assembly tier on for a
+// whole engine and bounds how far the decode set may drift from the
+// portable reference. The AVX2 far replay reorders the frontier sum, so
+// a receiver balanced exactly on the SINR threshold may flip; with
+// realistic scenes that is vanishingly rare, and the gate allows only a
+// fraction of a percent of receptions to differ per round.
+func TestVectorizedAsmBoundedDisagreement(t *testing.T) {
+	if !simd.AsmAvailable() {
+		t.Skip("assembly tier unavailable on this CPU/build")
+	}
+	if !simd.SetUseAsm(true) {
+		t.Fatal("SetUseAsm(true) refused despite AsmAvailable")
+	}
+	t.Cleanup(func() { simd.SetUseAsm(false) })
+	for _, fam := range []struct{ name, spec string }{
+		{"uniform", "uniform:n=640,density=8"},
+		{"starclusters", "starclusters:arms=4,m=60,hops=40"},
+		{"gridholes", "gridholes:n=640,spacing=0.45"},
+	} {
+		for _, alpha := range []float64{2, 4} { // the shapes with asm kernels
+			t.Run(fmt.Sprintf("%s/alpha=%g", fam.name, alpha), func(t *testing.T) {
+				eu := seqScene(t, fam.spec, 5200+uint64(alpha))
+				n := eu.Len()
+				p := sinr.DefaultParams()
+				mk := func(vec bool) *sinr.HierEngine {
+					h, err := sinr.NewHierEngine(eu, p, sinr.DefaultCellSize, sinr.DefaultNearRadius, sinr.DefaultTheta)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sinr.SetAlphaForTest(h, alpha)
+					h.SetWorkers(1)
+					h.SetVectorized(vec)
+					return h
+				}
+				asm, ref := mk(true), mk(false)
+				r := rng.New(uint64(alpha) * 31)
+				var tx []int
+				for round := 0; round < 12; round++ {
+					tx = evolveTx(r, n, tx, 0.2, 0.05)
+					want := append([]sinr.Reception(nil), ref.Resolve(tx)...)
+					got := asm.Resolve(tx)
+					inWant := map[sinr.Reception]bool{}
+					for _, rc := range want {
+						inWant[rc] = true
+					}
+					diff := 0
+					for _, rc := range got {
+						if !inWant[rc] {
+							diff++
+						} else {
+							delete(inWant, rc)
+						}
+					}
+					diff += len(inWant)
+					budget := 1 + len(want)/200 // ≤0.5% of receptions + slack for tiny rounds
+					if diff > budget {
+						t.Fatalf("round %d: %d receptions differ between asm and portable (budget %d, |want|=%d)",
+							round, diff, budget, len(want))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestHotTableBlockGranularityGate is the hardware-independent cost
+// gate of the block-granularity hot table: across a churny delta-path
+// sequence, the mean number of counter bumps per live-cell transition
+// must stay at least 20× below the (2·nearCells+1)² bumps the per-cell
+// table paid for the same transitions.
+func TestHotTableBlockGranularityGate(t *testing.T) {
+	eu := seqScene(t, "uniform:n=900,density=8", 13)
+	n := eu.Len()
+	h, err := sinr.NewHierEngine(eu, sinr.DefaultParams(), sinr.DefaultCellSize, sinr.DefaultNearRadius, sinr.DefaultTheta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetWorkers(1)
+	r := rng.New(5)
+	var tx []int
+	for round := 0; round < 120; round++ {
+		tx = evolveTx(r, n, tx, 0.1, 0.05)
+		h.Resolve(tx)
+	}
+	bumps, transitions := h.HotStatsForTest()
+	if transitions == 0 {
+		t.Fatal("no live-cell transitions recorded — the sequence never exercised the hot table")
+	}
+	perTransition := float64(bumps) / float64(transitions)
+	nc := h.NearCellsForTest()
+	perCell := float64((2*nc + 1) * (2*nc + 1))
+	t.Logf("hot table: %.2f bumps/transition (block) vs %.0f (per-cell): %.1f×",
+		perTransition, perCell, perCell/perTransition)
+	if perCell < 20*perTransition {
+		t.Fatalf("block hot table pays %.2f bumps/transition; per-cell would pay %.0f — ratio %.1f× is below the 20× gate",
+			perTransition, perCell, perCell/perTransition)
+	}
+}
