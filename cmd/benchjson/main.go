@@ -44,9 +44,11 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 
+	"sinrcast/internal/cputopo"
 	"sinrcast/internal/prof"
 )
 
@@ -70,11 +72,38 @@ type Report struct {
 	Goos   string `json:"goos,omitempty"`
 	Goarch string `json:"goarch,omitempty"`
 	CPU    string `json:"cpu,omitempty"`
+	// NumCPU/Gomaxprocs/NUMANodes record the recording machine's
+	// parallel topology. benchjson stamps them at serialization time,
+	// which describes the bench machine as long as the report is
+	// generated on the machine the benches ran on (the
+	// pipe-into-benchjson workflow every documented invocation uses).
+	// Parallel speedup curves only transfer between machines with the
+	// same topology; -compare uses these to skip parallel entries
+	// recorded elsewhere.
+	NumCPU     int `json:"num_cpu,omitempty"`
+	Gomaxprocs int `json:"gomaxprocs,omitempty"`
+	NUMANodes  int `json:"numa_nodes,omitempty"`
 	// Benchtime documents the -benchtime the benches ran with (from the
 	// -benchtime flag; go test does not echo it into its output).
 	Benchtime  string      `json:"benchtime,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
+
+// sameTopology reports whether two reports were recorded on machines
+// with identical parallel topology. Reports predating the topology
+// fields (all zero) compare as unknown — treated as same, so old
+// baselines keep gating everything.
+func sameTopology(a, b *Report) bool {
+	if a.NumCPU == 0 || b.NumCPU == 0 {
+		return true
+	}
+	return a.NumCPU == b.NumCPU && a.Gomaxprocs == b.Gomaxprocs && a.NUMANodes == b.NUMANodes
+}
+
+// parallelEntry matches benchmark names whose timing depends on the
+// machine's parallel topology: the explicit worker-sweep benches and
+// the GOMAXPROCS-parallel engine modes.
+var parallelEntry = regexp.MustCompile(`/parallel$|/parallel-\d+$|/workers=`)
 
 // parseBench reads `go test -bench` text and returns the report. It
 // tolerates unknown chatter lines (PASS, ok, test logs) but rejects
@@ -164,15 +193,27 @@ var procSuffix = regexp.MustCompile(`-\d+$`)
 // benchmark whose name matches filter and whose metric exists in both
 // reports must stay within (1+tolerance)× the baseline value. Names
 // are matched with the -GOMAXPROCS suffix stripped, so a baseline
-// recorded on one core count gates runs on any other. It returns the
-// number of comparisons made and the regressions found.
+// recorded on one core count gates runs on any other — except
+// parallel entries, which are skipped entirely when the recorded
+// topologies differ: a worker-sweep timing from an 8-core NUMA box
+// says nothing about a 2-core runner, and gating on it would fail (or
+// silently pass) on hardware, not code. It returns the number of
+// comparisons made and the regressions found.
 func compare(fresh, base *Report, filter *regexp.Regexp, metric string, tolerance float64, w io.Writer) (checked int, regressions int) {
+	topoMatch := sameTopology(fresh, base)
 	baseline := make(map[string]Benchmark, len(base.Benchmarks))
 	for _, b := range base.Benchmarks {
 		baseline[procSuffix.ReplaceAllString(b.Name, "")] = b
 	}
 	for _, b := range fresh.Benchmarks {
 		if filter != nil && !filter.MatchString(b.Name) {
+			continue
+		}
+		if !topoMatch && parallelEntry.MatchString(procSuffix.ReplaceAllString(b.Name, "")) {
+			fmt.Fprintf(w, "%-10s %s: parallel entry, baseline topology differs (%d/%d/%d vs %d/%d/%d cpu/procs/nodes)\n",
+				"skip", b.Name,
+				fresh.NumCPU, fresh.Gomaxprocs, fresh.NUMANodes,
+				base.NumCPU, base.Gomaxprocs, base.NUMANodes)
 			continue
 		}
 		old, ok := baseline[procSuffix.ReplaceAllString(b.Name, "")]
@@ -221,6 +262,9 @@ func main() {
 		os.Exit(1)
 	}
 	rep.Benchtime = *benchtime
+	rep.NumCPU = runtime.NumCPU()
+	rep.Gomaxprocs = runtime.GOMAXPROCS(0)
+	rep.NUMANodes = cputopo.Detect().NumNodes()
 
 	if *compareTo != "" {
 		raw, err := os.ReadFile(*compareTo)

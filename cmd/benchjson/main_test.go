@@ -134,6 +134,54 @@ func TestCompare(t *testing.T) {
 	}
 }
 
+func TestCompareTopologySkip(t *testing.T) {
+	mk := func(name string, ns float64) Benchmark {
+		return Benchmark{Name: name, Iterations: 3, Metrics: map[string]float64{"ns/round": ns}}
+	}
+	benches := []Benchmark{
+		mk("BenchmarkHierResolve/n=65536/alpha=2.5/serial", 1000),
+		mk("BenchmarkHierResolve/n=65536/alpha=2.5/parallel-8", 400),
+		mk("BenchmarkParallelScaling/n=65536/alpha=2.5/workers=4", 300),
+	}
+	base := &Report{NumCPU: 8, Gomaxprocs: 8, NUMANodes: 2, Benchmarks: benches}
+
+	// Same topology: parallel entries are gated like any other (the 10x
+	// slowdowns regress).
+	fresh := &Report{NumCPU: 8, Gomaxprocs: 8, NUMANodes: 2, Benchmarks: []Benchmark{
+		mk("BenchmarkHierResolve/n=65536/alpha=2.5/parallel-8", 4000),
+		mk("BenchmarkParallelScaling/n=65536/alpha=2.5/workers=4", 3000),
+	}}
+	checked, regressions := compare(fresh, base, nil, "ns/round", 0.15, &strings.Builder{})
+	if checked != 2 || regressions != 2 {
+		t.Fatalf("same topology: checked=%d regressions=%d, want 2/2", checked, regressions)
+	}
+
+	// Different topology: parallel entries are skipped, serial entries
+	// still gate.
+	fresh = &Report{NumCPU: 2, Gomaxprocs: 2, NUMANodes: 1, Benchmarks: []Benchmark{
+		mk("BenchmarkHierResolve/n=65536/alpha=2.5/serial", 1100),
+		mk("BenchmarkHierResolve/n=65536/alpha=2.5/parallel-2", 4000),
+		mk("BenchmarkParallelScaling/n=65536/alpha=2.5/workers=4", 3000),
+	}}
+	var sb strings.Builder
+	checked, regressions = compare(fresh, base, nil, "ns/round", 0.15, &sb)
+	if checked != 1 || regressions != 0 {
+		t.Fatalf("cross topology: checked=%d regressions=%d, want 1/0\n%s", checked, regressions, sb.String())
+	}
+	if !strings.Contains(sb.String(), "skip") {
+		t.Fatalf("cross topology: no skip notice emitted:\n%s", sb.String())
+	}
+
+	// A baseline predating the topology fields gates everything.
+	legacy := &Report{Benchmarks: benches}
+	fresh = &Report{NumCPU: 2, Gomaxprocs: 2, NUMANodes: 1, Benchmarks: []Benchmark{
+		mk("BenchmarkHierResolve/n=65536/alpha=2.5/parallel-2", 410),
+	}}
+	if checked, _ = compare(fresh, legacy, nil, "ns/round", 0.15, &strings.Builder{}); checked != 1 {
+		t.Fatalf("legacy baseline: checked=%d, want 1", checked)
+	}
+}
+
 func TestParseBenchEmptyInput(t *testing.T) {
 	rep, err := parseBench(strings.NewReader("PASS\nok \tx\t0.1s\n"))
 	if err != nil {

@@ -48,12 +48,20 @@
 //     1/(d²·d²), integer and half-integer α → multiply chains plus at
 //     most two square roots, math.Pow only for irrational α), so the
 //     innermost per-pair statement is branch-free multiplies.
-//   - Engine parallelism: sinr.Engine and sinr.GridEngine shard each
-//     round's receiver range across a reusable worker pool
-//     (Engine.SetWorkers; default runtime.GOMAXPROCS(0)). Small rounds
-//     stay serial below a crossover size, and the merged reception
-//     list is byte-identical to the serial result for every worker
-//     count.
+//   - Engine parallelism: every engine cuts a round into work chunks
+//     executed by a work-stealing scheduler (internal/sinr/sched):
+//     each chunk has a stable owner worker — the hier engine chunks at
+//     its 16×16-cell receiver blocks, so a block's cached slabs stay
+//     with one worker across rounds — and idle workers steal whole
+//     chunks from other workers' queues when the load skews. Per-chunk
+//     output slots merged in chunk order keep the reception list
+//     byte-identical to the serial result for every worker count and
+//     every steal interleaving (Engine.SetWorkers; default
+//     runtime.GOMAXPROCS(0); small rounds stay serial below a
+//     crossover size). Engine.SetPinned optionally pins workers to
+//     CPUs, assigned NUMA-node-first from the sysfs topology
+//     (internal/cputopo), for stable core-local caches on multi-socket
+//     machines.
 //   - Trial parallelism: the experiment suite (internal/exp) runs the
 //     repetitions of each data point concurrently (exp.Config.Workers,
 //     cmd/experiments -workers). Every trial's randomness derives from

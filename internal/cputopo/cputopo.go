@@ -1,0 +1,177 @@
+// Package cputopo detects the machine's CPU/NUMA topology from the
+// Linux sysfs tree (/sys/devices/system/{cpu,node}), with a portable
+// single-node fallback everywhere else. The sinr scheduler uses it to
+// order worker CPU pins node-major, so that workers owning neighboring
+// receiver blocks land on the same NUMA node and the blocks' cached
+// slabs stay in that node's local memory; cmd/benchjson records the
+// detected node count as baseline metadata so parallel benchmark
+// entries from machines with different topologies are never compared.
+//
+// Detection is best-effort by design: a missing or partial sysfs tree
+// (non-Linux, stripped-down containers, unusual kernels) degrades to
+// one node holding CPUs 0..NumCPU-1, never to an error — topology is a
+// placement hint, not a correctness input.
+package cputopo
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"slices"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Topology describes the CPUs visible to the process grouped by NUMA
+// node. Nodes are ordered by node id; each node's CPU list is
+// ascending. Every topology has at least one node with at least one
+// CPU.
+type Topology struct {
+	// Nodes holds the online CPU ids of each NUMA node.
+	Nodes [][]int
+}
+
+// NumNodes returns the NUMA node count.
+func (t Topology) NumNodes() int { return len(t.Nodes) }
+
+// NumCPUs returns the total CPU count across nodes.
+func (t Topology) NumCPUs() int {
+	n := 0
+	for _, cpus := range t.Nodes {
+		n += len(cpus)
+	}
+	return n
+}
+
+// CPUsNodeMajor returns all CPU ids ordered node by node (node 0's
+// CPUs ascending, then node 1's, ...). Pinning worker i to entry
+// i mod len fills NUMA nodes first: consecutive workers share a node,
+// so a scheduler that assigns consecutive block ranges to consecutive
+// workers keeps each range's cached state on one node.
+func (t Topology) CPUsNodeMajor() []int {
+	out := make([]int, 0, t.NumCPUs())
+	for _, cpus := range t.Nodes {
+		out = append(out, cpus...)
+	}
+	return out
+}
+
+// Detect reads the topology from /sys/devices/system. See DetectAt.
+func Detect() Topology { return DetectAt("/sys/devices/system") }
+
+// DetectAt reads the topology from the given sysfs system directory
+// (split out so tests can point it at a fixture tree). Any read or
+// parse failure falls back to a single node containing CPUs
+// 0..runtime.NumCPU()-1.
+func DetectAt(sysRoot string) Topology {
+	online, err := readCPUList(filepath.Join(sysRoot, "cpu", "online"))
+	if err != nil || len(online) == 0 {
+		return fallback()
+	}
+	onlineSet := make(map[int]bool, len(online))
+	for _, c := range online {
+		onlineSet[c] = true
+	}
+	entries, err := os.ReadDir(filepath.Join(sysRoot, "node"))
+	if err != nil {
+		// No NUMA directory (kernel without NUMA, non-Linux): one node.
+		return Topology{Nodes: [][]int{online}}
+	}
+	type node struct {
+		id   int
+		cpus []int
+	}
+	var nodes []node
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "node") {
+			continue
+		}
+		id, err := strconv.Atoi(name[len("node"):])
+		if err != nil {
+			continue
+		}
+		cpus, err := readCPUList(filepath.Join(sysRoot, "node", name, "cpulist"))
+		if err != nil {
+			continue
+		}
+		// Keep only online CPUs; a node may list offline ones.
+		kept := cpus[:0]
+		for _, c := range cpus {
+			if onlineSet[c] {
+				kept = append(kept, c)
+			}
+		}
+		if len(kept) > 0 {
+			nodes = append(nodes, node{id: id, cpus: kept})
+		}
+	}
+	if len(nodes) == 0 {
+		return Topology{Nodes: [][]int{online}}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].id < nodes[j].id })
+	t := Topology{Nodes: make([][]int, len(nodes))}
+	for i, nd := range nodes {
+		t.Nodes[i] = nd.cpus
+	}
+	return t
+}
+
+// fallback is the portable no-sysfs topology: one node, NumCPU CPUs.
+func fallback() Topology {
+	n := runtime.NumCPU()
+	cpus := make([]int, n)
+	for i := range cpus {
+		cpus[i] = i
+	}
+	return Topology{Nodes: [][]int{cpus}}
+}
+
+// readCPUList reads and parses one sysfs cpulist file.
+func readCPUList(path string) ([]int, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseCPUList(strings.TrimSpace(string(raw)))
+}
+
+// ParseCPUList parses the kernel's cpulist format: comma-separated
+// decimal ids and inclusive ranges, e.g. "0-3,8,10-11". The empty
+// string is a valid empty list (a memory-only NUMA node has one).
+// Returned ids are sorted and deduplicated.
+func ParseCPUList(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err := strconv.Atoi(lo)
+			if err != nil {
+				return nil, err
+			}
+			b, err := strconv.Atoi(hi)
+			if err != nil {
+				return nil, err
+			}
+			if b < a {
+				a, b = b, a
+			}
+			for c := a; c <= b; c++ {
+				out = append(out, c)
+			}
+		} else {
+			c, err := strconv.Atoi(part)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, c)
+		}
+	}
+	slices.Sort(out)
+	return slices.Compact(out), nil
+}

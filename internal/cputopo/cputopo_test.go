@@ -1,0 +1,123 @@
+package cputopo
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestParseCPUList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		err  bool
+	}{
+		{"", nil, false},
+		{"0", []int{0}, false},
+		{"0-3", []int{0, 1, 2, 3}, false},
+		{"0-1,4-5", []int{0, 1, 4, 5}, false},
+		{" 2 , 0 ", []int{0, 2}, false},
+		{"3-3", []int{3}, false},
+		{"1,1,0-1", []int{0, 1}, false}, // dedup
+		{"x", nil, true},
+		{"1-y", nil, true},
+	}
+	for _, c := range cases {
+		got, err := ParseCPUList(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseCPUList(%q): want error, got %v", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseCPUList(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseCPUList(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// fixture writes a fake sysfs system tree and returns its root.
+func fixture(t *testing.T, online string, nodes map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	if online != "" {
+		mustWrite(t, filepath.Join(root, "cpu", "online"), online)
+	}
+	for name, cpulist := range nodes {
+		mustWrite(t, filepath.Join(root, "node", name, "cpulist"), cpulist)
+	}
+	return root
+}
+
+func mustWrite(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectAtTwoNodes(t *testing.T) {
+	root := fixture(t, "0-7", map[string]string{
+		"node0": "0-3",
+		"node1": "4-7",
+	})
+	topo := DetectAt(root)
+	if topo.NumNodes() != 2 || topo.NumCPUs() != 8 {
+		t.Fatalf("got %d nodes / %d cpus, want 2 / 8", topo.NumNodes(), topo.NumCPUs())
+	}
+	want := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	if got := topo.CPUsNodeMajor(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("CPUsNodeMajor = %v, want %v", got, want)
+	}
+}
+
+func TestDetectAtFiltersOfflineAndMemoryOnlyNodes(t *testing.T) {
+	root := fixture(t, "0-2,4", map[string]string{
+		"node0": "0-2",
+		"node1": "3-5", // CPUs 3 and 5 are offline
+		"node2": "",    // memory-only node: no CPUs at all
+	})
+	topo := DetectAt(root)
+	if topo.NumNodes() != 2 {
+		t.Fatalf("got %d nodes, want 2 (memory-only node dropped)", topo.NumNodes())
+	}
+	if got, want := topo.CPUsNodeMajor(), []int{0, 1, 2, 4}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("CPUsNodeMajor = %v, want %v", got, want)
+	}
+}
+
+func TestDetectAtNoNodeDirFallsBackToOneNode(t *testing.T) {
+	root := fixture(t, "0-3", nil)
+	topo := DetectAt(root)
+	if topo.NumNodes() != 1 || topo.NumCPUs() != 4 {
+		t.Fatalf("got %d nodes / %d cpus, want 1 / 4", topo.NumNodes(), topo.NumCPUs())
+	}
+}
+
+func TestDetectAtMissingSysfsFallsBackToNumCPU(t *testing.T) {
+	topo := DetectAt(filepath.Join(t.TempDir(), "nonexistent"))
+	if topo.NumNodes() != 1 || topo.NumCPUs() < 1 {
+		t.Fatalf("fallback topology %d nodes / %d cpus, want 1 node, >=1 cpu",
+			topo.NumNodes(), topo.NumCPUs())
+	}
+}
+
+func TestDetectOnThisMachine(t *testing.T) {
+	// Whatever the host looks like, Detect must return a usable
+	// topology (the fallback guarantees it).
+	topo := Detect()
+	if topo.NumNodes() < 1 || topo.NumCPUs() < 1 {
+		t.Fatalf("Detect() = %d nodes / %d cpus", topo.NumNodes(), topo.NumCPUs())
+	}
+	if len(topo.CPUsNodeMajor()) != topo.NumCPUs() {
+		t.Fatalf("CPUsNodeMajor length %d != NumCPUs %d", len(topo.CPUsNodeMajor()), topo.NumCPUs())
+	}
+}

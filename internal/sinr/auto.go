@@ -10,8 +10,9 @@ import (
 // Resolver is the full physical-layer capability set every engine in
 // this package implements: whole-round resolution, subset resolution
 // (byte-identical to a filtered Resolve — see each engine's ResolveFor),
-// and worker-count control. It is what AutoEngine returns; sim.Engine
-// accepts any Resolver (its own interface is a subset of this one).
+// and parallel-runtime control. It is what AutoEngine returns;
+// sim.Engine accepts any Resolver (its own interface is a subset of
+// this one).
 type Resolver interface {
 	// Resolve computes all receptions of one round.
 	Resolve(tx []int) []Reception
@@ -22,8 +23,11 @@ type Resolver interface {
 	N() int
 	// Params returns the physical parameters.
 	Params() Params
-	// SetWorkers bounds round-sharding concurrency (≤ 0 = GOMAXPROCS).
+	// SetWorkers bounds round-chunking concurrency (≤ 0 = GOMAXPROCS).
 	SetWorkers(w int)
+	// SetPinned toggles best-effort OS-thread/CPU pinning of the
+	// parallel workers. Output is byte-identical either way.
+	SetPinned(on bool)
 }
 
 var (

@@ -3,6 +3,8 @@ package sinr
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"slices"
 	"testing"
 
 	"sinrcast/internal/geom"
@@ -43,7 +45,7 @@ func setBenchAlpha(params *Params, kern *Kernel, alpha float64) {
 }
 
 // BenchmarkResolve measures one exact-engine round at production-ish
-// network sizes across kernel variants, serial vs sharded.
+// network sizes across kernel variants, serial vs parallel.
 func BenchmarkResolve(b *testing.B) {
 	for _, n := range []int{1024, 4096, 16384} {
 		scene := randomScene(uint64(n), n, 20)
@@ -134,6 +136,54 @@ func BenchmarkHierResolve(b *testing.B) {
 					b.ResetTimer()
 					for i := 0; i < b.N; i++ {
 						h.Resolve(tx)
+					}
+					b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/round")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkParallelScaling sweeps the worker count on the hierarchical
+// engine at the large sizes — the speedup curve of the work-stealing
+// runner. Two disjoint transmitter sets alternate per iteration so the
+// cross-round epoch cache cannot collapse the rounds into replays:
+// every measured round pays real aggregation and descent work. One
+// warm-up round per set runs before the timer, so the loop measures
+// the steady state (which must not allocate — the allocs/op column is
+// CI-gated).
+func BenchmarkParallelScaling(b *testing.B) {
+	workerSet := []int{1, 2, 4, 8}
+	if p := runtime.GOMAXPROCS(0); !slices.Contains(workerSet, p) {
+		workerSet = append(workerSet, p)
+	}
+	for _, n := range []int{65536, 262144} {
+		scene := benchScene(uint64(n)+1, n)
+		txA := benchTx(n, 64)
+		txB := make([]int, 0, len(txA))
+		for i := 32; i < n; i += 64 {
+			txB = append(txB, i)
+		}
+		for _, alpha := range []float64{2, 2.5, 4} {
+			for _, workers := range workerSet {
+				b.Run(fmt.Sprintf("n=%d/alpha=%g/workers=%d", n, alpha, workers), func(b *testing.B) {
+					h, err := NewHierEngine(scene, DefaultParams(), DefaultCellSize, DefaultNearRadius, DefaultTheta)
+					if err != nil {
+						b.Fatal(err)
+					}
+					setBenchAlpha(&h.params, &h.kern, alpha)
+					h.SetWorkers(workers)
+					h.minParallelN = 0
+					h.Resolve(txA)
+					h.Resolve(txB)
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if i%2 == 0 {
+							h.Resolve(txA)
+						} else {
+							h.Resolve(txB)
+						}
 					}
 					b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/round")
 				})

@@ -23,10 +23,12 @@ type Reception struct {
 //
 // Path loss is evaluated through a Kernel specialized for the exponent
 // α, and rounds over networks at least as large as the parallel
-// crossover are sharded by receiver range across a reusable worker
-// pool. Parallel resolution is byte-identical to serial: each receiver
-// accumulates interference in the same transmitter order regardless of
-// sharding, and shard results are concatenated in receiver order.
+// crossover are cut into receiver-range chunks executed by the
+// work-stealing runner (internal/sinr/sched). Parallel resolution is
+// byte-identical to serial: each receiver accumulates interference in
+// the same transmitter order regardless of chunking, and chunk outputs
+// are concatenated in receiver order however the chunks were placed or
+// stolen.
 //
 // The zero value is not usable; construct with NewEngine. An Engine is
 // not safe for concurrent use by multiple goroutines (it owns scratch
@@ -45,14 +47,16 @@ type Engine struct {
 	ptsY []float64
 
 	// workers is the resolved worker count; minParallelN is the
-	// receiver count below which rounds stay serial.
+	// receiver count below which rounds stay serial; pinned opts the
+	// runner into core placement (see SetPinned).
 	workers      int
 	minParallelN int
-	par          shardRunner
-	shardFn      func(shard int)
-	shardForFn   func(shard int)
-	curTx        []int // transmitter set of the round being sharded
-	curRecv      []int // receiver subset of the ResolveFor round being sharded
+	pinned       bool
+	par          chunkRunner
+	chunkFn      func(chunk, worker int)
+	chunkForFn   func(chunk, worker int)
+	curTx        []int // transmitter set of the round being chunked
+	curRecv      []int // receiver subset of the ResolveFor round being chunked
 
 	// scratch buffers reused across rounds to stay allocation free.
 	sig  []float64 // total received power per station
@@ -66,7 +70,7 @@ type Engine struct {
 	bestD []float64
 	isTx  []bool
 	// out is the merged reception list returned by Resolve; the
-	// shardRunner holds per-shard buffers so parallel rounds write
+	// chunkRunner holds per-chunk buffers so parallel rounds write
 	// disjoint slices and merge deterministically.
 	out []Reception
 }
@@ -111,6 +115,13 @@ func (e *Engine) N() int { return e.space.Len() }
 // still resolve serially, and output is byte-identical for every
 // worker count.
 func (e *Engine) SetWorkers(w int) { e.workers = resolveWorkers(w) }
+
+// SetPinned opts the worker runner into core placement: worker
+// goroutines lock their OS threads and (on Linux) pin to CPUs in
+// NUMA-node-major order. Takes effect when the runner is next (re)built
+// — i.e. from the next parallel round. Output is byte-identical either
+// way; pinning only affects where the work runs.
+func (e *Engine) SetPinned(on bool) { e.pinned = on }
 
 // Resolve computes all successful receptions for one round in which
 // exactly the stations listed in tx transmit. The returned slice is
@@ -163,12 +174,12 @@ func (e *Engine) ResolveFor(tx []int, receivers []int) []Reception {
 		e.isTx[t] = true
 	}
 	if e.workers > 1 && len(receivers) >= e.minParallelN {
-		ensureRunner(&e.par, e, e.workers)
-		if e.shardForFn == nil {
-			e.shardForFn = e.runShardFor
+		ensureRunner(&e.par, e, e.workers, e.pinned)
+		if e.chunkForFn == nil {
+			e.chunkForFn = e.runChunkFor
 		}
 		e.curTx, e.curRecv = tx, receivers
-		e.out = e.par.runAndMerge(e.shardForFn, e.out)
+		e.out = e.par.runRange(len(receivers), e.workers, e.chunkForFn, e.out)
 		e.curTx, e.curRecv = nil, nil
 	} else {
 		e.accumulateFor(tx, receivers)
@@ -180,34 +191,35 @@ func (e *Engine) ResolveFor(tx []int, receivers []int) []Reception {
 	return e.out
 }
 
-// runShardFor resolves the shard-th contiguous slice of the subset.
-func (e *Engine) runShardFor(shard int) {
-	lo, hi := e.par.shardRange(shard, len(e.curRecv))
+// runChunkFor resolves one contiguous slice of the ResolveFor subset.
+func (e *Engine) runChunkFor(chunk, worker int) {
+	lo, hi := e.par.chunkRange(chunk, len(e.curRecv))
 	recv := e.curRecv[lo:hi]
 	e.accumulateFor(e.curTx, recv)
-	e.par.shardOut[shard] = e.collectFor(recv, e.par.shardOut[shard][:0])
+	e.par.slots[chunk].out = e.collectFor(recv, e.par.slots[chunk].out[:0])
 }
 
-// resolveParallel shards the receiver range [0,n) across the worker
-// pool. Shards touch disjoint ranges of the scratch arrays and append
-// into their own reception buffers, which are then concatenated in
-// shard (= ascending receiver) order, so the merged result is
-// byte-identical to the serial one.
+// resolveParallel chunks the receiver range [0,n) across the work-
+// stealing runner. Chunks touch disjoint ranges of the scratch arrays
+// and append into their own output slots, which are then concatenated
+// in chunk (= ascending receiver) order, so the merged result is
+// byte-identical to the serial one regardless of which worker ran (or
+// stole) which chunk.
 func (e *Engine) resolveParallel(tx []int) {
-	ensureRunner(&e.par, e, e.workers)
-	if e.shardFn == nil {
-		e.shardFn = e.runShard
+	ensureRunner(&e.par, e, e.workers, e.pinned)
+	if e.chunkFn == nil {
+		e.chunkFn = e.runChunk
 	}
 	e.curTx = tx
-	e.out = e.par.runAndMerge(e.shardFn, e.out)
+	e.out = e.par.runRange(e.space.Len(), e.workers, e.chunkFn, e.out)
 	e.curTx = nil
 }
 
-// runShard resolves the shard-th contiguous receiver range.
-func (e *Engine) runShard(shard int) {
-	lo, hi := e.par.shardRange(shard, e.space.Len())
+// runChunk resolves one contiguous receiver range.
+func (e *Engine) runChunk(chunk, worker int) {
+	lo, hi := e.par.chunkRange(chunk, e.space.Len())
 	e.accumulate(e.curTx, lo, hi)
-	e.par.shardOut[shard] = e.collect(lo, hi, e.par.shardOut[shard][:0])
+	e.par.slots[chunk].out = e.collect(lo, hi, e.par.slots[chunk].out[:0])
 }
 
 // accumulate fills sig/best/bestD for receivers in [lo,hi).

@@ -25,7 +25,7 @@ func SetAlphaForTest(r Resolver, alpha float64) {
 }
 
 // ForceParallelForTest drops the parallel crossover so tiny test
-// instances exercise the sharded path with the given worker count.
+// instances exercise the parallel path with the given worker count.
 func ForceParallelForTest(r Resolver, workers int) {
 	switch e := r.(type) {
 	case *Engine:
@@ -45,6 +45,44 @@ func ForceParallelForTest(r Resolver, workers int) {
 // BenchSceneForTest exposes the benches' constant-density scene
 // generator to the external bench files.
 func BenchSceneForTest(seed uint64, n int) *geom.Euclidean { return benchScene(seed, n) }
+
+// runnerOf returns the engine's chunk runner.
+func runnerOf(r Resolver) *chunkRunner {
+	switch e := r.(type) {
+	case *Engine:
+		return &e.par
+	case *GridEngine:
+		return &e.par
+	case *HierEngine:
+		return &e.par
+	default:
+		panic("runnerOf: unknown engine type")
+	}
+}
+
+// SetChunkTargetForTest overrides the per-chunk receiver target; 1
+// makes every receiver its own chunk — the deterministic steal storm
+// (many more chunks than workers, so thieves always find work).
+func SetChunkTargetForTest(r Resolver, target int) { runnerOf(r).chunkTarget = target }
+
+// StealsForTest reports how many chunks the engine's runner has
+// executed off-owner since the runner was built (0 before any parallel
+// round ran).
+func StealsForTest(r Resolver) int64 {
+	run := runnerOf(r).run
+	if run == nil {
+		return 0
+	}
+	return run.Steals()
+}
+
+// HoldWorkerForTest blocks the given worker of the engine's runner at
+// the start of every round until release is closed; worker < 0 clears
+// the hold. The runner must exist (run one parallel round first, or
+// call after ForceParallelForTest + Resolve).
+func HoldWorkerForTest(r Resolver, worker int, release <-chan struct{}) {
+	runnerOf(r).run.SetHoldForTest(worker, release)
+}
 
 // HotStatsForTest returns the hot-table cost counters accumulated since
 // construction: total block-counter bumps and live-cell transitions

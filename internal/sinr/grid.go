@@ -63,8 +63,9 @@ func gridDims(pts []geom.Point, cellSize float64) (cols, rows int, minX, minY fl
 // tail, which decays as d^-α with α > 2.
 //
 // Like Engine, path loss goes through the specialized Kernel and the
-// per-receiver loop is sharded across the reusable worker pool on large
-// networks, with byte-identical output for every worker count. A
+// per-receiver loop splits into chunks run by the work-stealing runner
+// on large networks, with byte-identical output for every worker count
+// and steal interleaving. A
 // GridEngine is not safe for concurrent use by multiple goroutines.
 //
 // The per-receiver far-field cost is O(liveCells): every cell holding a
@@ -98,16 +99,17 @@ type GridEngine struct {
 
 	workers      int
 	minParallelN int
-	par          shardRunner
-	shardFn      func(shard int)
-	shardForFn   func(shard int)
+	pinned       bool
+	par          chunkRunner
+	chunkFn      func(chunk, worker int)
+	chunkForFn   func(chunk, worker int)
 
 	// per-round scratch
 	cellPower []float64
 	txInCell  [][]int32
 	isTx      []bool
 	liveCells []int32
-	curRecv   []int // receiver subset of the ResolveFor round being sharded
+	curRecv   []int // receiver subset of the ResolveFor round being chunked
 	out       []Reception
 }
 
@@ -209,6 +211,10 @@ func (g *GridEngine) Params() Params { return g.params }
 // runtime.GOMAXPROCS(0). Output is byte-identical for every count.
 func (g *GridEngine) SetWorkers(w int) { g.workers = resolveWorkers(w) }
 
+// SetPinned opts the worker runner into core placement (see
+// Engine.SetPinned); applied when the runner is next (re)built.
+func (g *GridEngine) SetPinned(on bool) { g.pinned = on }
+
 // aggregate buckets the round's transmitters by cell (serial: O(|tx|)).
 func (g *GridEngine) aggregate(tx []int) {
 	pw := g.params.Power()
@@ -260,8 +266,8 @@ func (g *GridEngine) Resolve(tx []int) []Reception {
 // given receivers: the result is byte-identical to Resolve(tx) filtered
 // to receivers in the subset. receivers must be strictly increasing
 // station indices; the slice is only read. Like Resolve, the returned
-// slice is engine-owned and the subset loop shards across the worker
-// pool when the subset is large enough.
+// slice is engine-owned and the subset loop runs chunked on the
+// parallel runner when the subset is large enough.
 func (g *GridEngine) ResolveFor(tx []int, receivers []int) []Reception {
 	if len(tx) == 0 || len(receivers) == 0 {
 		return nil
@@ -270,12 +276,12 @@ func (g *GridEngine) ResolveFor(tx []int, receivers []int) []Reception {
 	g.aggregate(tx)
 
 	if g.workers > 1 && len(receivers) >= g.minParallelN {
-		ensureRunner(&g.par, g, g.workers)
-		if g.shardForFn == nil {
-			g.shardForFn = g.runShardFor
+		ensureRunner(&g.par, g, g.workers, g.pinned)
+		if g.chunkForFn == nil {
+			g.chunkForFn = g.runChunkFor
 		}
 		g.curRecv = receivers
-		g.out = g.par.runAndMerge(g.shardForFn, g.out)
+		g.out = g.par.runRange(len(receivers), g.workers, g.chunkForFn, g.out)
 		g.curRecv = nil
 	} else {
 		g.out = g.collectList(receivers, g.out[:0])
@@ -285,28 +291,28 @@ func (g *GridEngine) ResolveFor(tx []int, receivers []int) []Reception {
 	return g.out
 }
 
-// resolveParallel shards the receiver loop. After aggregation all
-// per-cell state is read-only, so shards only write their own output
-// buffers; concatenating them in shard order reproduces the serial
-// receiver order exactly.
+// resolveParallel chunks the receiver loop across the work-stealing
+// runner. After aggregation all per-cell state is read-only, so chunks
+// only write their own output slots; concatenating them in chunk order
+// reproduces the serial receiver order exactly.
 func (g *GridEngine) resolveParallel() {
-	ensureRunner(&g.par, g, g.workers)
-	if g.shardFn == nil {
-		g.shardFn = g.runShard
+	ensureRunner(&g.par, g, g.workers, g.pinned)
+	if g.chunkFn == nil {
+		g.chunkFn = g.runChunk
 	}
-	g.out = g.par.runAndMerge(g.shardFn, g.out)
+	g.out = g.par.runRange(len(g.pts), g.workers, g.chunkFn, g.out)
 }
 
-// runShard collects the shard-th contiguous receiver range.
-func (g *GridEngine) runShard(shard int) {
-	lo, hi := g.par.shardRange(shard, len(g.pts))
-	g.par.shardOut[shard] = g.collectRange(lo, hi, g.par.shardOut[shard][:0])
+// runChunk collects one contiguous receiver range.
+func (g *GridEngine) runChunk(chunk, worker int) {
+	lo, hi := g.par.chunkRange(chunk, len(g.pts))
+	g.par.slots[chunk].out = g.collectRange(lo, hi, g.par.slots[chunk].out[:0])
 }
 
-// runShardFor collects the shard-th contiguous slice of the subset.
-func (g *GridEngine) runShardFor(shard int) {
-	lo, hi := g.par.shardRange(shard, len(g.curRecv))
-	g.par.shardOut[shard] = g.collectList(g.curRecv[lo:hi], g.par.shardOut[shard][:0])
+// runChunkFor collects one contiguous slice of the subset.
+func (g *GridEngine) runChunkFor(chunk, worker int) {
+	lo, hi := g.par.chunkRange(chunk, len(g.curRecv))
+	g.par.slots[chunk].out = g.collectList(g.curRecv[lo:hi], g.par.slots[chunk].out[:0])
 }
 
 // collectRange resolves receivers in [lo,hi), appending receptions to
@@ -327,7 +333,7 @@ func (g *GridEngine) collectList(receivers []int, dst []Reception) []Reception {
 }
 
 // collectOne resolves receiver u, appending its reception (if any) to
-// dst. It only reads shared state, so shards may run it concurrently.
+// dst. It only reads shared state, so chunks may run it concurrently.
 // The receiver's cell coordinates come from the precomputed cellOf
 // table — no per-receiver float divisions.
 func (g *GridEngine) collectOne(u int, dst []Reception) []Reception {

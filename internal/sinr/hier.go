@@ -99,16 +99,19 @@ type blockCacheEntry struct {
 	epoch uint32
 }
 
-// hierChunk is the per-shard scratch of the frontier-memoized receiver
-// loop: private slabs for the receiver-partitioned list path, where two
-// shards may visit the same block concurrently and therefore cannot
-// share the per-block cache. cachedBlock/cachedEpoch key the lazy
-// reuse: consecutive receivers in one block — across rounds, while the
-// aggregation is unchanged — replay the same slabs.
+// hierChunk is the per-worker scratch of the frontier-memoized
+// receiver loop: private slabs for the receiver-partitioned list path,
+// where two workers may visit the same block concurrently and
+// therefore cannot share the per-block cache. cachedBlock/cachedEpoch
+// key the lazy reuse: consecutive receivers in one block — across
+// rounds, while the aggregation is unchanged — replay the same slabs.
+// The trailing pad keeps adjacent workers' scratch on distinct cache
+// lines (the slab headers are rewritten on every block miss).
 type hierChunk struct {
 	blockSlabs
 	cachedBlock int32
 	cachedEpoch uint32
+	_           [64]byte
 }
 
 // HierEngine resolves rounds approximately for Euclidean networks with
@@ -161,10 +164,10 @@ type hierChunk struct {
 //     the decode tests.
 //
 // Like the other engines, path loss goes through the specialized
-// Kernel, large rounds shard across the reusable worker pool with
-// byte-identical output for every worker count, and ResolveFor
-// restricts a round to a receiver subset. A HierEngine is not safe for
-// concurrent use by multiple goroutines.
+// Kernel, large rounds split into chunks executed by the work-stealing
+// runner with byte-identical output for every worker count and steal
+// interleaving, and ResolveFor restricts a round to a receiver subset.
+// A HierEngine is not safe for concurrent use by multiple goroutines.
 type HierEngine struct {
 	params   Params
 	kern     Kernel
@@ -201,9 +204,14 @@ type HierEngine struct {
 
 	workers      int
 	minParallelN int
-	par          shardRunner
-	shardFn      func(shard int)
-	shardForFn   func(shard int)
+	pinned       bool
+	par          chunkRunner
+	// Cached chunk closures for the four parallel dispatch shapes
+	// (allocated once so steady-state rounds stay alloc-free).
+	blockFn   func(chunk, worker int)
+	rangeFn   func(chunk, worker int)
+	listFn    func(chunk, worker int)
+	descentFn func(chunk, worker int)
 
 	// Tuning knobs (see SetFrontierMemo / SetDeltaCrossover /
 	// SetVectorized).
@@ -256,23 +264,27 @@ type HierEngine struct {
 	mergeBuf   []int32
 	dirtyNodes [2][]int32
 
-	// Per-round receiver-side scratch.
+	// Per-round receiver-side scratch. curRecv/curMask carry the active
+	// ResolveFor subset into the chunk closures for the duration of one
+	// parallel round.
 	workList []int32
 	curRecv  []int
+	curMask  []bool
 	recvMask []bool
 	chunks   []hierChunk
 	// blockCache persists each block's slabs across rounds, stamped
 	// with the aggregation epoch that built them. The whole-round path
-	// partitions blocks across shards, so each entry is written by at
-	// most one goroutine per round; the pool's round barrier orders
-	// cross-round handoffs.
+	// makes each work-list block its own chunk, claimed by exactly one
+	// worker, so each entry is written by at most one goroutine per
+	// round; the runner's round barrier orders cross-round handoffs.
 	blockCache []blockCacheEntry
 	// farCache/farEpoch memoize each receiver's far-field replay: the
 	// frontier sum is a pure function of (receiver position, aggregation
 	// epoch), so a receiver whose stamp matches the current epoch reuses
 	// the stored value — bit-identical by construction — instead of
-	// replaying the slabs. Receivers are partitioned across shards in
-	// every parallel mode, so each entry has one writer per round.
+	// replaying the slabs. Receivers are partitioned across chunks in
+	// every parallel mode (a receiver's block lives in exactly one
+	// chunk), so each entry has one writer per round.
 	farCache []float64
 	farEpoch []uint32
 	out      []Reception
@@ -423,6 +435,13 @@ func (h *HierEngine) Levels() int { return len(h.levels) }
 // SetWorkers sets how many goroutines Resolve may use; w ≤ 0 selects
 // runtime.GOMAXPROCS(0). Output is byte-identical for every count.
 func (h *HierEngine) SetWorkers(w int) { h.workers = resolveWorkers(w) }
+
+// SetPinned toggles OS-thread pinning of the parallel workers (off by
+// default): each worker goroutine locks to an OS thread bound to one
+// CPU, assigned NUMA-node-first. Best-effort — a no-op where the
+// platform offers no affinity API — and output is byte-identical
+// either way.
+func (h *HierEngine) SetPinned(on bool) { h.pinned = on }
 
 // SetFrontierMemo toggles the shared per-cell frontier (on by
 // default). Off, every receiver descends the pyramid from the root on
@@ -883,11 +902,11 @@ func (h *HierEngine) Resolve(tx []int) []Reception {
 	n := len(h.pts)
 	if !h.memo {
 		if h.workers > 1 && n >= h.minParallelN {
-			ensureRunner(&h.par, h, h.workers)
-			if h.shardFn == nil {
-				h.shardFn = h.runShard
+			ensureRunner(&h.par, h, h.workers, h.pinned)
+			if h.rangeFn == nil {
+				h.rangeFn = h.runChunkRange
 			}
-			h.out = h.par.runAndMerge(h.shardFn, h.out)
+			h.out = h.par.runRange(n, h.workers, h.rangeFn, h.out)
 		} else {
 			h.out = h.collectRange(0, n, h.out[:0])
 		}
@@ -896,11 +915,7 @@ func (h *HierEngine) Resolve(tx []int) []Reception {
 
 	h.buildWorkList()
 	if h.workers > 1 && n >= h.minParallelN {
-		ensureRunner(&h.par, h, h.workers)
-		if h.shardFn == nil {
-			h.shardFn = h.runShard
-		}
-		h.out = h.par.runAndMerge(h.shardFn, h.out)
+		h.out = h.runBlocks(nil)
 	} else {
 		h.out = h.collectBlocks(h.workList, nil, h.out[:0])
 	}
@@ -930,7 +945,7 @@ func (h *HierEngine) ResolveFor(tx []int, receivers []int) []Reception {
 	// Large subsets (an eighth of the network or more) pay for the
 	// cell walk: mark the subset and reuse the whole-round path. Small
 	// subsets iterate receivers directly — scattered cells build their
-	// slabs lazily, one cell cache per shard, which never costs more
+	// slabs lazily, one cell cache per worker, which never costs more
 	// than the unmemoized per-receiver descent.
 	if len(receivers)*8 >= len(h.pts) {
 		if h.recvMask == nil {
@@ -941,13 +956,7 @@ func (h *HierEngine) ResolveFor(tx []int, receivers []int) []Reception {
 		}
 		h.buildWorkList()
 		if h.workers > 1 && len(receivers) >= h.minParallelN {
-			ensureRunner(&h.par, h, h.workers)
-			if h.shardFn == nil {
-				h.shardFn = h.runShard
-			}
-			h.curRecv = receivers // non-nil marks masked mode for shards
-			h.out = h.par.runAndMerge(h.shardFn, h.out)
-			h.curRecv = nil
+			h.out = h.runBlocks(h.recvMask)
 		} else {
 			h.out = h.collectBlocks(h.workList, h.recvMask, h.out[:0])
 		}
@@ -958,13 +967,13 @@ func (h *HierEngine) ResolveFor(tx []int, receivers []int) []Reception {
 		return h.out
 	}
 	if h.workers > 1 && len(receivers) >= h.minParallelN {
-		ensureRunner(&h.par, h, h.workers)
-		h.ensureChunks(h.par.pool.workers)
-		if h.shardForFn == nil {
-			h.shardForFn = h.runShardFor
+		ensureRunner(&h.par, h, h.workers, h.pinned)
+		h.ensureChunks(h.workers)
+		if h.listFn == nil {
+			h.listFn = h.runChunkList
 		}
 		h.curRecv = receivers
-		h.out = h.par.runAndMerge(h.shardForFn, h.out)
+		h.out = h.par.runRange(len(receivers), h.workers, h.listFn, h.out)
 		h.curRecv = nil
 	} else {
 		h.ensureChunks(1)
@@ -974,48 +983,73 @@ func (h *HierEngine) ResolveFor(tx []int, receivers []int) []Reception {
 }
 
 // resolveListDescent is the unmemoized ResolveFor body (subset loop
-// over per-receiver descents), sharded like the other engines.
+// over per-receiver descents), chunked like the other engines.
 func (h *HierEngine) resolveListDescent(receivers []int) []Reception {
 	if h.workers > 1 && len(receivers) >= h.minParallelN {
-		ensureRunner(&h.par, h, h.workers)
-		if h.shardForFn == nil {
-			h.shardForFn = h.runShardFor
+		ensureRunner(&h.par, h, h.workers, h.pinned)
+		if h.descentFn == nil {
+			h.descentFn = h.runChunkDescent
 		}
 		h.curRecv = receivers
-		out := h.par.runAndMerge(h.shardForFn, h.out)
+		out := h.par.runRange(len(receivers), h.workers, h.descentFn, h.out)
 		h.curRecv = nil
 		return out
 	}
 	return h.collectListDescent(receivers, h.out[:0])
 }
 
-// runShard is the parallel whole-round shard body. With the memo on it
-// takes the shard-th slice of the occupied-hot-cell work list (masked
-// when a large ResolveFor is in flight); with the memo off it takes the
-// shard-th receiver range, like the other engines.
-func (h *HierEngine) runShard(shard int) {
-	if !h.memo {
-		lo, hi := h.par.shardRange(shard, len(h.pts))
-		h.par.shardOut[shard] = h.collectRange(lo, hi, h.par.shardOut[shard][:0])
-		return
+// runBlocks is the parallel memoized whole-round body (mask non-nil
+// when a large ResolveFor restricts the round): every work-list block
+// becomes one chunk, owned by worker blockID·W/nBlocks. Block ids are
+// stable across rounds, so a block's owner — and therefore the worker
+// whose cache holds its slabs and its receivers' far sums — never
+// changes while the worker count does not; skewed block occupancy
+// surfaces as queue imbalance that stealing rebalances.
+func (h *HierEngine) runBlocks(mask []bool) []Reception {
+	ensureRunner(&h.par, h, h.workers, h.pinned)
+	if h.blockFn == nil {
+		h.blockFn = h.runChunkBlock
 	}
-	lo, hi := h.par.shardRange(shard, len(h.workList))
-	var mask []bool
-	if h.curRecv != nil {
-		mask = h.recvMask
+	h.par.prepare(len(h.workList))
+	nBlocks := h.bcols * h.brows
+	for i, b := range h.workList {
+		h.par.owners[i] = int32(int(b) * h.workers / nBlocks)
 	}
-	h.par.shardOut[shard] = h.collectBlocks(h.workList[lo:hi], mask, h.par.shardOut[shard][:0])
+	h.curMask = mask
+	out := h.par.runOwned(h.blockFn, h.out)
+	h.curMask = nil
+	return out
 }
 
-// runShardFor resolves the shard-th contiguous slice of a ResolveFor
-// subset.
-func (h *HierEngine) runShardFor(shard int) {
-	lo, hi := h.par.shardRange(shard, len(h.curRecv))
-	if !h.memo {
-		h.par.shardOut[shard] = h.collectListDescent(h.curRecv[lo:hi], h.par.shardOut[shard][:0])
-		return
-	}
-	h.par.shardOut[shard] = h.collectList(&h.chunks[shard], h.curRecv[lo:hi], h.par.shardOut[shard][:0])
+// runChunkBlock resolves the chunk-th work-list block against the
+// shared per-block cache. Exactly one worker claims each chunk, so the
+// block's cache entry and its receivers' far-sum entries keep a single
+// writer per round even when the chunk is stolen.
+func (h *HierEngine) runChunkBlock(chunk, worker int) {
+	h.par.slots[chunk].out = h.collectBlocks(h.workList[chunk:chunk+1], h.curMask, h.par.slots[chunk].out[:0])
+}
+
+// runChunkRange resolves the chunk-th receiver range on the unmemoized
+// whole-round path.
+func (h *HierEngine) runChunkRange(chunk, worker int) {
+	lo, hi := h.par.chunkRange(chunk, len(h.pts))
+	h.par.slots[chunk].out = h.collectRange(lo, hi, h.par.slots[chunk].out[:0])
+}
+
+// runChunkList resolves the chunk-th contiguous slice of a small
+// ResolveFor subset with the executing worker's private slabs (chunks
+// from different regions may land on one worker under stealing; the
+// (block, epoch) key on the private cache keeps reuse correct).
+func (h *HierEngine) runChunkList(chunk, worker int) {
+	lo, hi := h.par.chunkRange(chunk, len(h.curRecv))
+	h.par.slots[chunk].out = h.collectList(&h.chunks[worker], h.curRecv[lo:hi], h.par.slots[chunk].out[:0])
+}
+
+// runChunkDescent resolves the chunk-th slice of an unmemoized
+// ResolveFor subset.
+func (h *HierEngine) runChunkDescent(chunk, worker int) {
+	lo, hi := h.par.chunkRange(chunk, len(h.curRecv))
+	h.par.slots[chunk].out = h.collectListDescent(h.curRecv[lo:hi], h.par.slots[chunk].out[:0])
 }
 
 // --- Frontier-memoized collection --------------------------------------
@@ -1212,8 +1246,8 @@ func (h *HierEngine) resolveReceiver(sl *blockSlabs, u int32, dst []Reception) [
 // against the per-block slab cache: a block whose entry carries the
 // current aggregation epoch replays its slabs as-is, otherwise the near
 // gather and shared descent rebuild them — lazily, on the block's first
-// eligible receiver — and restamp the entry. Blocks are partitioned
-// across shards, so each cache entry has a single writer per round.
+// eligible receiver — and restamp the entry. Each block runs in exactly
+// one chunk, so each cache entry has a single writer per round.
 // Receptions come out grouped by block; the caller sorts by receiver.
 func (h *HierEngine) collectBlocks(blocks []int32, mask []bool, dst []Reception) []Reception {
 	for _, b := range blocks {
@@ -1239,8 +1273,8 @@ func (h *HierEngine) collectBlocks(blocks []int32, mask []bool, dst []Reception)
 
 // collectList resolves an explicit ascending receiver list with the
 // memoized slabs. The shared per-block cache is read when its epoch is
-// current (receiver-partitioned shards may visit the same block, so
-// this path never writes it); on a miss the chunk's private slabs are
+// current (receiver-partitioned workers may visit the same block, so
+// this path never writes it); on a miss the worker's private slabs are
 // built and keyed by (block, epoch) — scattered small subsets degrade
 // gracefully to one build per receiver, which costs about one
 // unmemoized descent each.
@@ -1286,9 +1320,9 @@ func (h *HierEngine) collectListDescent(receivers []int, dst []Reception) []Rece
 // the unmemoized reference path (SetFrontierMemo(false)), applying the
 // same block-rectangle θ classification and union near box as
 // buildFrontier so its output is bit-identical to the memoized replay.
-// Shared state is read-only here, so shards run it concurrently; the
+// Shared state is read-only here, so chunks run it concurrently; the
 // descent order is fixed, so the accumulated float sums — and hence
-// the output — are identical for every sharding.
+// the output — are identical for every chunking.
 func (h *HierEngine) collectOne(u int, dst []Reception) []Reception {
 	uc := h.cellOf[u]
 	if h.hotCnt[h.blockOfCell(uc)] == 0 || h.isTx[u] {

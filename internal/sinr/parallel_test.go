@@ -10,7 +10,7 @@ import (
 )
 
 // forceParallel drops the crossover so tiny test instances exercise the
-// sharded path.
+// parallel path.
 func forceParallel(e *Engine, workers int) {
 	e.SetWorkers(workers)
 	e.minParallelN = 0

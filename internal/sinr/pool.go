@@ -2,68 +2,25 @@ package sinr
 
 import (
 	"runtime"
-	"sync"
+
+	"sinrcast/internal/sinr/sched"
 )
 
 // parallelCrossover is the default receiver count below which Resolve
 // stays serial even when workers are available: a round costs
 // O(n·|tx|) float ops, and below ~1k receivers the few microseconds of
-// shard dispatch outweigh the parallel win. Engines expose the knob via
+// chunk dispatch outweigh the parallel win. Engines expose the knob via
 // their minParallelN field so tests can force the parallel path on
 // tiny instances.
 const parallelCrossover = 1024
 
-// workerPool is a reusable set of goroutines that execute receiver
-// shards. A pool is created lazily by an engine on its first parallel
-// round and reused for every round after, so steady-state rounds do not
-// allocate or spawn. Pools are engine-private: run is never called
-// concurrently on the same pool.
-//
-// The worker goroutines exit when the pool's job channel is closed; the
-// owning engine arranges that via runtime.AddCleanup, so dropping the
-// engine cannot leak goroutines. Between rounds the pool holds no
-// reference to the engine (run clears fn), which is what lets the
-// engine become unreachable in the first place.
-type workerPool struct {
-	workers int
-	jobs    chan int
-	wg      sync.WaitGroup
-	fn      func(shard int)
-}
-
-// newWorkerPool starts workers goroutines ready to execute shards.
-func newWorkerPool(workers int) *workerPool {
-	p := &workerPool{workers: workers, jobs: make(chan int, workers)}
-	for i := 0; i < workers; i++ {
-		go func() {
-			for shard := range p.jobs {
-				p.fn(shard)
-				p.wg.Done()
-			}
-		}()
-	}
-	return p
-}
-
-// run executes fn(0) … fn(shards-1) on the pool and waits for all of
-// them. The channel send/receive pair orders the p.fn write before any
-// worker reads it, and every worker's read is ordered before wg.Wait
-// returns, so clearing fn afterwards is race-free.
-func (p *workerPool) run(shards int, fn func(shard int)) {
-	p.fn = fn
-	p.wg.Add(shards)
-	for s := 0; s < shards; s++ {
-		p.jobs <- s
-	}
-	p.wg.Wait()
-	p.fn = nil
-}
-
-// close terminates the worker goroutines. Exactly one of two paths
-// calls it per pool: the registered GC cleanup, or ensureRunner when
-// replacing the pool after a worker-count change (which stops the
-// cleanup first, so the two paths never both fire).
-func (p *workerPool) close() { close(p.jobs) }
+// defaultChunkReceivers is the target receiver count per work chunk on
+// the range and list paths. Chunks are the unit of stealing: small
+// enough that several per worker exist (imbalance can rebalance),
+// large enough that the per-chunk claim CAS and output slot are noise
+// against the receiver math. The hier engine's block path ignores this
+// and chunks at its natural 16×16-cell receiver-block granularity.
+const defaultChunkReceivers = 1024
 
 // resolveWorkers normalizes a Workers setting: values ≤ 0 select
 // runtime.GOMAXPROCS(0).
@@ -74,61 +31,139 @@ func resolveWorkers(w int) int {
 	return w
 }
 
-// shardRunner owns the parallel-resolve machinery shared by the
-// engines: the lazy worker pool, its GC teardown registration, and the
-// per-shard reception buffers that make the ordered merge
-// deterministic. hiWater remembers the largest per-shard reception
-// count ever merged, so rebuilding the pool (a worker-count change)
-// presizes the fresh buffers instead of rediscovering the round's
-// decode volume through repeated append growth.
-type shardRunner struct {
-	pool     *workerPool
-	cleanup  runtime.Cleanup
-	shardOut [][]Reception
-	hiWater  int
+// chunkSlot is one chunk's private output buffer. The trailing pad
+// keeps neighboring slice headers on distinct cache lines: two workers
+// appending to adjacent chunks would otherwise false-share the line
+// holding both headers and ping it between cores on every append.
+type chunkSlot struct {
+	out []Reception
+	_   [40]byte // slice header (24 B on 64-bit) padded to a 64 B line
 }
 
-// ensureRunner (re)builds r's pool for the given worker count. owner is
-// the engine whose unreachability tears the pool down; between rounds
-// the pool holds no reference back to it (workerPool.run clears fn), so
-// the cleanup can actually fire. Replacing an existing pool stops its
-// cleanup before closing it, so the channel is never closed twice.
-func ensureRunner[T any](r *shardRunner, owner *T, workers int) {
-	if r.pool != nil && r.pool.workers == workers {
+// chunkRunner owns the parallel-resolve machinery shared by the
+// engines: the lazy sched.Runner (worker goroutines, owner-affine
+// queues, stealing, optional pinning), its GC teardown registration,
+// and the per-chunk output slots that make the ordered merge
+// deterministic. hiWater remembers the largest per-chunk reception
+// count ever merged, so fresh slots — whether from a bigger round or
+// a rebuilt runner — are presized instead of rediscovering the round's
+// decode volume through repeated append growth.
+//
+// Unlike the old one-shard-per-worker pool, slots are keyed by chunk,
+// not by worker: a runner rebuild (worker-count or pinning change)
+// keeps every slot, so mid-sequence reconfiguration never reallocates
+// or invalidates output buffers.
+type chunkRunner struct {
+	run     *sched.Runner
+	cleanup runtime.Cleanup
+	slots   []chunkSlot
+	owners  []int32
+	nChunks int
+	hiWater int
+	// chunkTarget overrides defaultChunkReceivers when positive; tests
+	// set it to 1 to force a steal storm (every receiver its own chunk).
+	chunkTarget int
+}
+
+// ensureRunner (re)builds r's scheduler for the given worker count and
+// pinning mode. owner is the engine whose unreachability tears the
+// runner down; between rounds the runner holds no reference back to it
+// (sched.Runner.Run clears fn), so the cleanup can actually fire.
+// Replacing an existing runner stops its cleanup before closing it, so
+// the workers are never closed twice.
+func ensureRunner[T any](r *chunkRunner, owner *T, workers int, pinned bool) {
+	if r.run != nil && r.run.Workers() == workers && r.run.Pinned() == pinned {
 		return
 	}
-	if r.pool != nil {
+	if r.run != nil {
 		r.cleanup.Stop()
-		r.pool.close()
+		r.run.Close()
 	}
-	r.pool = newWorkerPool(workers)
-	r.cleanup = runtime.AddCleanup(owner, func(p *workerPool) { p.close() }, r.pool)
-	r.shardOut = make([][]Reception, workers)
-	if r.hiWater > 0 {
-		for i := range r.shardOut {
-			r.shardOut[i] = make([]Reception, 0, r.hiWater)
+	r.run = sched.New(workers, pinned)
+	r.cleanup = runtime.AddCleanup(owner, func(s *sched.Runner) { s.Close() }, r.run)
+}
+
+// chunkCount cuts n items into chunks: ~chunkTarget items each, at
+// least a few per worker so stealing has granularity to work with, and
+// never more chunks than items — a round with more workers than
+// receivers wakes only as many workers as there are chunks instead of
+// dispatching degenerate empty ranges.
+func (r *chunkRunner) chunkCount(n, workers int) int {
+	target := r.chunkTarget
+	if target <= 0 {
+		target = defaultChunkReceivers
+	}
+	c := (n + target - 1) / target
+	if c < workers*4 {
+		c = workers * 4
+	}
+	if c > n {
+		c = n
+	}
+	return c
+}
+
+// prepare sizes the owner array and output slots for an nChunks-chunk
+// round. New slots are presized to the high-water reception count.
+func (r *chunkRunner) prepare(nChunks int) {
+	r.nChunks = nChunks
+	if cap(r.owners) < nChunks {
+		r.owners = make([]int32, nChunks)
+	}
+	r.owners = r.owners[:nChunks]
+	if len(r.slots) < nChunks {
+		grown := make([]chunkSlot, nChunks)
+		copy(grown, r.slots)
+		if r.hiWater > 0 {
+			for i := len(r.slots); i < nChunks; i++ {
+				grown[i].out = make([]Reception, 0, r.hiWater)
+			}
 		}
+		r.slots = grown
 	}
 }
 
-// shardRange returns the half-open receiver range of one shard over n
-// receivers.
-func (r *shardRunner) shardRange(shard, n int) (lo, hi int) {
-	w := r.pool.workers
-	return shard * n / w, (shard + 1) * n / w
+// chunkRange returns the half-open item range of one chunk over n
+// items for the current round's chunk count.
+func (r *chunkRunner) chunkRange(chunk, n int) (lo, hi int) {
+	return chunk * n / r.nChunks, (chunk + 1) * n / r.nChunks
 }
 
-// runAndMerge executes fn for every shard on the pool, then returns out
-// (reused) with the per-shard receptions appended in shard — that is,
-// ascending receiver — order, reproducing the serial result exactly.
-func (r *shardRunner) runAndMerge(fn func(shard int), out []Reception) []Reception {
-	r.pool.run(r.pool.workers, fn)
+// merge returns out (reused) with the per-chunk receptions appended in
+// chunk — that is, ascending item — order. Chunk outputs are written
+// by exactly one worker each and the merge order is fixed, so the
+// result is byte-identical to serial resolution regardless of which
+// worker ran which chunk.
+func (r *chunkRunner) merge(out []Reception) []Reception {
 	out = out[:0]
-	for _, shard := range r.shardOut {
-		out = append(out, shard...)
-		if len(shard) > r.hiWater {
-			r.hiWater = len(shard)
+	for i := 0; i < r.nChunks; i++ {
+		s := r.slots[i].out
+		out = append(out, s...)
+		if len(s) > r.hiWater {
+			r.hiWater = len(s)
 		}
 	}
 	return out
+}
+
+// runRange chunks n items into contiguous ranges with proportional
+// contiguous owners (chunk c → worker c·W/chunks — stable across
+// rounds for fixed n, so each worker keeps revisiting the same
+// receiver ranges), executes fn for every chunk, and merges.
+func (r *chunkRunner) runRange(n, workers int, fn func(chunk, worker int), out []Reception) []Reception {
+	r.prepare(r.chunkCount(n, workers))
+	for c := 0; c < r.nChunks; c++ {
+		r.owners[c] = int32(c * workers / r.nChunks)
+	}
+	r.run.Run(r.owners, fn)
+	return r.merge(out)
+}
+
+// runOwned executes a round whose chunk count and owners the caller
+// prepared directly (r.prepare + r.owners), then merges. The hier
+// engine uses it for the block path, where chunks are receiver blocks
+// and owners derive from stable block ids.
+func (r *chunkRunner) runOwned(fn func(chunk, worker int), out []Reception) []Reception {
+	r.run.Run(r.owners, fn)
+	return r.merge(out)
 }

@@ -1,0 +1,31 @@
+//go:build linux
+
+package sched
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// pinThread restricts the calling OS thread to the given CPU via
+// sched_setaffinity(2) (tid 0 = the calling thread). The caller must
+// have locked the goroutine to its thread first. The raw syscall
+// avoids a dependency on golang.org/x/sys; the mask covers 1024 CPUs,
+// matching the kernel's default CONFIG_NR_CPUS ceiling.
+func pinThread(cpu int) error {
+	var mask [16]uint64 // 1024-bit CPU set
+	if cpu < 0 || cpu >= len(mask)*64 {
+		return syscall.EINVAL
+	}
+	mask[cpu/64] = 1 << (uint(cpu) % 64)
+	_, _, errno := syscall.RawSyscall(
+		syscall.SYS_SCHED_SETAFFINITY,
+		0,
+		uintptr(unsafe.Sizeof(mask)),
+		uintptr(unsafe.Pointer(&mask[0])),
+	)
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package sched
+
+// pinThread is a no-op off Linux: workers stay thread-locked (see
+// workerLoop) but the OS places the threads. Affinity syscalls differ
+// per platform and the scheduler's correctness never depends on
+// placement, so the portable fallback simply declines.
+func pinThread(cpu int) error { return nil }

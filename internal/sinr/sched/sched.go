@@ -1,0 +1,279 @@
+// Package sched is the locality-aware parallel runtime under the sinr
+// engines: a reusable set of worker goroutines executing block-
+// granularity work chunks with owner affinity and work stealing.
+//
+// The previous runtime cut every round into exactly one contiguous
+// shard per worker. That made rounds stall on the slowest shard — the
+// hier engine's ArgMin rejection makes cold receiver blocks finish
+// almost for free while decode-heavy blocks dominate, so equal-sized
+// shards are wildly unequal in work — and it let the Go scheduler
+// migrate shards across cores between rounds, scattering the per-block
+// slab caches a stable placement would keep hot. This runtime fixes
+// both:
+//
+//   - Affinity: every chunk names a preferred owner worker. The owner
+//     assignment is the caller's (the engines derive it from stable
+//     block ids), so the same receiver blocks land on the same worker
+//     round after round and their cached frontier/near slabs and
+//     far-sum entries stay in that worker's core-local cache.
+//
+//   - Stealing: a worker that drains its own queue takes whole chunks
+//     from the tail of other workers' queues, so imbalanced rounds
+//     finish at the speed of the aggregate, not of the slowest owner.
+//
+//   - Determinism: the runtime never decides *what* a chunk computes
+//     or *where* its output goes — callers give every chunk its own
+//     output slot and merge slots in chunk order after the round.
+//     Each chunk is claimed by exactly one worker (a CAS per chunk),
+//     and a chunk's work is a pure function of shared read-only round
+//     state, so the merged output is byte-identical for every worker
+//     count, every steal interleaving, and pinning on or off.
+//
+// Opt-in placement (New's pinned flag) locks each worker goroutine to
+// an OS thread and — on Linux — sets per-thread CPU affinity with
+// sched_setaffinity, assigning workers to CPUs in NUMA-node-major
+// order (internal/cputopo), so consecutive workers share a node and
+// contiguous block ranges stay on the socket that owns their memory.
+// Everywhere else pinning degrades to LockOSThread alone.
+//
+// A Runner is owned by one engine and Run is never called
+// concurrently on the same Runner. Steady-state rounds do not
+// allocate: queue and claim arrays grow to a high-water mark and are
+// reused.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sinrcast/internal/cputopo"
+)
+
+// Runner executes rounds of chunks on a fixed set of worker
+// goroutines. Create with New, release with Close.
+type Runner struct {
+	workers int
+	pinned  bool
+	cpus    []int // pin targets in node-major order; nil when unpinned
+
+	wake []chan struct{} // one per worker: fixed goroutine identity
+	wg   sync.WaitGroup
+
+	// Round state: written by Run before the wake sends, read-only by
+	// workers during the round (the channel send/receive pair orders
+	// the writes), except claimed/steals which are atomic.
+	fn      func(chunk, worker int)
+	ew      int // effective workers woken this round
+	qIdx    []int32
+	qStart  []int32 // CSR: worker w owns qIdx[qStart[w]:qStart[w+1]]
+	qFill   []int32
+	claimed []uint32
+
+	steals atomic.Int64
+
+	// Test hook: worker holdWorker blocks on holdCh at the start of
+	// each round, forcing its queue to be stolen (see SetHoldForTest).
+	holdWorker int
+	holdCh     <-chan struct{}
+}
+
+// New starts a runner with the given worker count (≥ 1). With pinned
+// set, each worker goroutine locks its OS thread and pins itself to
+// one CPU, workers assigned to CPUs node-major (worker 0 → first CPU
+// of node 0, ...). Pinning is best-effort: on non-Linux platforms, or
+// when sched_setaffinity fails, workers stay thread-locked but
+// unpinned.
+func New(workers int, pinned bool) *Runner {
+	if workers < 1 {
+		workers = 1
+	}
+	r := &Runner{
+		workers:    workers,
+		pinned:     pinned,
+		qStart:     make([]int32, workers+1),
+		qFill:      make([]int32, workers),
+		holdWorker: -1,
+	}
+	if pinned {
+		r.cpus = cputopo.Detect().CPUsNodeMajor()
+	}
+	r.wake = make([]chan struct{}, workers)
+	for i := 0; i < workers; i++ {
+		r.wake[i] = make(chan struct{}, 1)
+		go r.workerLoop(i)
+	}
+	return r
+}
+
+// Workers returns the worker count the runner was built with.
+func (r *Runner) Workers() int { return r.workers }
+
+// Pinned reports whether the runner was built with placement on.
+func (r *Runner) Pinned() bool { return r.pinned }
+
+// Steals returns the cumulative number of chunks executed by a worker
+// other than their owner. Purely diagnostic — stealing never affects
+// output — but the counted CI gate reads it to prove the stealing
+// path stays alive.
+func (r *Runner) Steals() int64 { return r.steals.Load() }
+
+// Close terminates the worker goroutines. The runner must be idle (no
+// Run in flight). Exactly one of two paths calls it per runner: the
+// owning engine's GC cleanup, or the engine replacing the runner after
+// a configuration change (which stops the cleanup first).
+func (r *Runner) Close() {
+	for _, ch := range r.wake {
+		close(ch)
+	}
+}
+
+// SetHoldForTest stalls the given worker at the start of every
+// subsequent round until release is closed (worker < 0 clears the
+// hook). Tests use it to make stealing deterministic: with worker w
+// held, every chunk owned by w must be stolen by the others before
+// the round can complete, on any hardware and any Go scheduler
+// interleaving. Must only be called between rounds.
+func (r *Runner) SetHoldForTest(worker int, release <-chan struct{}) {
+	r.holdWorker = worker
+	r.holdCh = release
+}
+
+// Run executes fn(c, w) exactly once for every chunk c in
+// [0, len(owners)), where w is the worker that actually ran the chunk.
+// owners[c] names chunk c's preferred worker; values outside the woken
+// range are folded back in. Run returns when every chunk has finished.
+// fn must only write chunk-private state (plus worker-private scratch
+// indexed by w); shared round inputs must be read-only for the
+// duration.
+func (r *Runner) Run(owners []int32, fn func(chunk, worker int)) {
+	n := len(owners)
+	if n == 0 {
+		return
+	}
+	if r.workers == 1 {
+		// Inline: no goroutine handoff, same chunk order.
+		for c := 0; c < n; c++ {
+			fn(c, 0)
+		}
+		return
+	}
+	// Never wake more workers than there are chunks: a tiny round on a
+	// wide runner would otherwise pay wakeups for workers with nothing
+	// to do (the old runtime's degenerate empty shards).
+	ew := min(r.workers, n)
+
+	// Build the per-worker CSR queues (counting sort, reused buffers).
+	if cap(r.qIdx) < n {
+		r.qIdx = make([]int32, n)
+		r.claimed = make([]uint32, n)
+	}
+	r.qIdx = r.qIdx[:n]
+	r.claimed = r.claimed[:n]
+	clear(r.claimed)
+	qs := r.qStart[:ew+1]
+	clear(qs)
+	for _, w := range owners {
+		q := int(w)
+		if q >= ew || q < 0 {
+			q %= ew
+			if q < 0 {
+				q += ew
+			}
+		}
+		qs[q+1]++
+	}
+	for w := 1; w <= ew; w++ {
+		qs[w] += qs[w-1]
+	}
+	fill := r.qFill[:ew]
+	clear(fill)
+	for c, w := range owners {
+		q := int(w)
+		if q >= ew || q < 0 {
+			q %= ew
+			if q < 0 {
+				q += ew
+			}
+		}
+		r.qIdx[qs[q]+fill[q]] = int32(c)
+		fill[q]++
+	}
+
+	r.fn = fn
+	r.ew = ew
+	r.wg.Add(ew)
+	for w := 0; w < ew; w++ {
+		r.wake[w] <- struct{}{}
+	}
+	r.wg.Wait()
+	r.fn = nil
+}
+
+// workerLoop is one worker goroutine: pin once, then serve rounds
+// until the wake channel closes. A goroutine's worker id is fixed for
+// its lifetime, which is what makes owner affinity mean something — a
+// block's owner is always the same goroutine, and with pinning on,
+// the same OS thread on the same CPU.
+func (r *Runner) workerLoop(id int) {
+	if r.pinned {
+		runtime.LockOSThread()
+		if len(r.cpus) > 0 {
+			// Best-effort: a failed pin leaves the worker thread-locked
+			// but floating, which is still deterministic.
+			_ = pinThread(r.cpus[id%len(r.cpus)])
+		}
+	}
+	for range r.wake[id] {
+		r.round(id)
+		r.wg.Done()
+	}
+}
+
+// round is one worker's share of a Run: drain the own queue front to
+// back, then steal from the tails of the other queues until a full
+// sweep finds every chunk claimed.
+func (r *Runner) round(id int) {
+	if id == r.holdWorker && r.holdCh != nil {
+		<-r.holdCh
+	}
+	fn := r.fn
+	for _, c := range r.qIdx[r.qStart[id]:r.qStart[id+1]] {
+		if r.claim(c) {
+			fn(int(c), id)
+		}
+	}
+	ew := r.ew
+	if ew <= 1 {
+		return
+	}
+	for {
+		stole := false
+		for k := 1; k < ew; k++ {
+			v := id + k
+			if v >= ew {
+				v -= ew
+			}
+			q := r.qIdx[r.qStart[v]:r.qStart[v+1]]
+			for i := len(q) - 1; i >= 0; i-- {
+				if c := q[i]; r.claim(c) {
+					r.steals.Add(1)
+					fn(int(c), id)
+					stole = true
+					break
+				}
+			}
+		}
+		if !stole {
+			// Every chunk is claimed; whoever claimed one finishes it
+			// before their own wg.Done, so exiting now is safe.
+			return
+		}
+	}
+}
+
+// claim takes chunk c if unclaimed. At most one worker wins the CAS,
+// so every chunk executes exactly once per round.
+func (r *Runner) claim(c int32) bool {
+	return atomic.CompareAndSwapUint32(&r.claimed[c], 0, 1)
+}

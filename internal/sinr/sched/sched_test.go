@@ -1,0 +1,192 @@
+package sched
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// runRound executes one round of n chunks with the given owners and
+// returns, per chunk, how many times it ran and which worker ran it.
+func runRound(t *testing.T, r *Runner, owners []int32) (runs []int32, by []int32) {
+	t.Helper()
+	n := len(owners)
+	runs = make([]int32, n)
+	by = make([]int32, n)
+	for i := range by {
+		by[i] = -1
+	}
+	r.Run(owners, func(chunk, worker int) {
+		atomic.AddInt32(&runs[chunk], 1)
+		atomic.StoreInt32(&by[chunk], int32(worker))
+	})
+	return runs, by
+}
+
+func TestEveryChunkRunsExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		r := New(workers, false)
+		for round := 0; round < 5; round++ {
+			n := 1 + round*13
+			owners := make([]int32, n)
+			for c := range owners {
+				owners[c] = int32(c * workers / n)
+			}
+			runs, _ := runRound(t, r, owners)
+			for c, k := range runs {
+				if k != 1 {
+					t.Fatalf("workers=%d round=%d: chunk %d ran %d times", workers, round, c, k)
+				}
+			}
+		}
+		r.Close()
+	}
+}
+
+func TestOutOfRangeOwnersFoldIn(t *testing.T) {
+	r := New(2, false)
+	defer r.Close()
+	owners := []int32{0, 1, 7, -3, 100, 2}
+	runs, by := runRound(t, r, owners)
+	for c, k := range runs {
+		if k != 1 {
+			t.Fatalf("chunk %d ran %d times", c, k)
+		}
+		if by[c] < 0 || by[c] >= 2 {
+			t.Fatalf("chunk %d ran on worker %d, want [0,2)", c, by[c])
+		}
+	}
+}
+
+func TestFewerChunksThanWorkers(t *testing.T) {
+	// A 3-chunk round on a 16-worker runner must wake at most 3 workers
+	// (no degenerate empty dispatches) and still run every chunk once.
+	r := New(16, false)
+	defer r.Close()
+	runs, by := runRound(t, r, []int32{9, 12, 15})
+	for c, k := range runs {
+		if k != 1 {
+			t.Fatalf("chunk %d ran %d times", c, k)
+		}
+		if by[c] >= 3 {
+			t.Fatalf("chunk %d ran on worker %d, but only 3 workers may wake", c, by[c])
+		}
+	}
+}
+
+func TestEmptyRoundIsNoOp(t *testing.T) {
+	r := New(4, false)
+	defer r.Close()
+	called := false
+	r.Run(nil, func(chunk, worker int) { called = true })
+	if called {
+		t.Fatal("fn called on an empty round")
+	}
+}
+
+// TestStealCountGate is the counted, hardware-independent gate on the
+// stealing path: worker 0 is held at the round barrier, so its entire
+// queue must be stolen by the other workers before the round can
+// complete — on any machine, any GOMAXPROCS, any interleaving. If the
+// stealing path rots, this round deadlocks (and the test times out)
+// or the count comes back short.
+func TestStealCountGate(t *testing.T) {
+	const chunks = 32
+	r := New(4, false)
+	defer r.Close()
+	release := make(chan struct{})
+	r.SetHoldForTest(0, release)
+	// Everything is owned by the held worker 0; a separate goroutine
+	// releases it only after the steal counter proves the others took
+	// over.
+	owners := make([]int32, chunks)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r.Steals() == 0 {
+			runtime.Gosched()
+		}
+		close(release)
+	}()
+	runs, by := runRound(t, r, owners)
+	<-done
+	r.SetHoldForTest(-1, nil)
+	for c, k := range runs {
+		if k != 1 {
+			t.Fatalf("chunk %d ran %d times", c, k)
+		}
+	}
+	stolen := 0
+	for _, w := range by {
+		if w != 0 {
+			stolen++
+		}
+	}
+	if got := r.Steals(); got < int64(stolen) {
+		t.Fatalf("Steals() = %d, but %d chunks ran off-owner", got, stolen)
+	}
+	if stolen == 0 {
+		t.Fatal("no chunk was stolen despite the owner being held")
+	}
+}
+
+func TestStealsAccumulateAcrossRounds(t *testing.T) {
+	r := New(3, false)
+	defer r.Close()
+	before := r.Steals()
+	for round := 0; round < 3; round++ {
+		release := make(chan struct{})
+		r.SetHoldForTest(0, release)
+		go func() {
+			for r.Steals() == before {
+				runtime.Gosched()
+			}
+			close(release)
+		}()
+		owners := make([]int32, 8) // all owned by held worker 0
+		runRound(t, r, owners)
+		r.SetHoldForTest(-1, nil)
+		after := r.Steals()
+		if after <= before {
+			t.Fatalf("round %d: steal counter did not advance (%d -> %d)", round, before, after)
+		}
+		before = after
+	}
+}
+
+func TestPinnedRunnerResolvesRounds(t *testing.T) {
+	// Pinning is best-effort and platform-dependent; the contract under
+	// test is that a pinned runner behaves identically.
+	r := New(2, true)
+	defer r.Close()
+	if !r.Pinned() {
+		t.Fatal("Pinned() = false on a pinned runner")
+	}
+	owners := []int32{0, 0, 1, 1, 0, 1}
+	runs, _ := runRound(t, r, owners)
+	for c, k := range runs {
+		if k != 1 {
+			t.Fatalf("pinned: chunk %d ran %d times", c, k)
+		}
+	}
+}
+
+func TestSerialRunnerInlines(t *testing.T) {
+	r := New(1, false)
+	defer r.Close()
+	var order []int
+	r.Run(make([]int32, 5), func(chunk, worker int) {
+		if worker != 0 {
+			t.Fatalf("serial runner used worker %d", worker)
+		}
+		order = append(order, chunk)
+	})
+	for i, c := range order {
+		if c != i {
+			t.Fatalf("serial chunk order %v, want ascending", order)
+		}
+	}
+	if r.Steals() != 0 {
+		t.Fatalf("serial runner stole %d chunks", r.Steals())
+	}
+}
