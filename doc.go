@@ -137,6 +137,27 @@
 // paying O(n) per round for settled receivers. Experiment E14 measures
 // the resulting large-n throughput at 10⁴–10⁶ stations.
 //
+// The round loop around the engines is amortized the same way. A
+// protocol that knows its next acting round can implement the opt-in
+// sim.Sleeper capability (TickWake returns the transmit decision plus
+// a wake round); the engine then parks it in a bucketed calendar
+// queue and ticks only the stations due each round, waking same-round
+// stations in ascending id so RNG draws and outputs stay byte-exact
+// against the tick-everyone loop (sim.SetWakeSchedulingDefault and
+// Engine.SetWakeScheduling keep the naive loop as the reference
+// path). In NoSBroadcast's coloring preamble — where all but the
+// source sleep — this takes the n=65536 round loop from ~1.2k to
+// ~420k rounds/s, allocation-free in steady state. On the trial side,
+// engine state is split into an immutable topology slab shared by
+// pointer and lazily-allocated run state, so Engine/GridEngine/
+// HierEngine Clone() costs ~350 ns against milliseconds of fresh
+// construction; internal/exp pools clones per experiment point
+// (exp.SetEnginePooling toggles it), so T trials pay one topology
+// build. Clone reuse is sound because resolve output depends only on
+// (topology, transmitter set) — a purity contract the clone tests pin;
+// engines with per-trial randomness (fading, weak-device) refuse to
+// clone and are rebuilt per trial.
+//
 // # Scenario architecture
 //
 // Topology construction is registry-driven (internal/scenario): each

@@ -118,6 +118,34 @@ func (s *station) Tick(t int) (bool, sim.Message) {
 	return false, sim.Message{}
 }
 
+var _ sim.Sleeper = (*station)(nil)
+
+// TickWake implements sim.Sleeper.
+func (s *station) TickWake(t int) (bool, sim.Message, int) {
+	transmit, msg := s.Tick(t)
+	return transmit, msg, s.nextWake(t)
+}
+
+// nextWake derives the sleep window from the post-Tick state: a colorer
+// that quit sleeps to the backbone boundary (everyone ticks there to
+// fix its flood probability), and in the flood window a non-alerted
+// station draws nothing until a reception alerts it — in the negative
+// case the whole window runs without a single Tick, matching the
+// protocol's mandated silence.
+func (s *station) nextWake(t int) int {
+	colorLen := s.cfg.Coloring.TotalRounds()
+	if t < colorLen {
+		if s.machine.Done() {
+			return colorLen
+		}
+		return t + 1
+	}
+	if s.alerted {
+		return t + 1
+	}
+	return sim.NeverWake
+}
+
 // Recv implements sim.Protocol.
 func (s *station) Recv(t int, msg sim.Message) {
 	if t < s.cfg.Coloring.TotalRounds() {

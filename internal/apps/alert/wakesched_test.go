@@ -1,0 +1,45 @@
+package alert
+
+import (
+	"reflect"
+	"testing"
+
+	"sinrcast/internal/sim"
+)
+
+// TestAlertWakeSchedulingByteIdentical covers both alert cases under
+// the wake-scheduling contract. The negative case is the extreme one:
+// with nobody alerted, the whole flood window runs without a single
+// Tick — and must still produce the identical (all-silent) Result.
+func TestAlertWakeSchedulingByteIdentical(t *testing.T) {
+	net := genNet(t, 32, 6)
+	for _, tc := range []struct {
+		name   string
+		raised func(i int) bool
+	}{
+		{"positive", func(i int) bool { return i == 5 }},
+		{"negative", func(int) bool { return false }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			raised := make([]bool, net.N())
+			for i := range raised {
+				raised[i] = tc.raised(i)
+			}
+			run := func() *Result {
+				res, err := Run(net, cfgFor(net), 13, raised)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			prev := sim.SetWakeSchedulingDefault(false)
+			ref := run()
+			sim.SetWakeSchedulingDefault(true)
+			sched := run()
+			sim.SetWakeSchedulingDefault(prev)
+			if !reflect.DeepEqual(ref, sched) {
+				t.Fatalf("alert diverges under wake scheduling:\nref   %+v\nsched %+v", ref, sched)
+			}
+		})
+	}
+}

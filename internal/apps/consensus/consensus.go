@@ -167,6 +167,42 @@ func (s *station) Tick(t int) (bool, sim.Message) {
 	return false, sim.Message{}
 }
 
+var _ sim.Sleeper = (*station)(nil)
+
+// TickWake implements sim.Sleeper.
+func (s *station) TickWake(t int) (bool, sim.Message, int) {
+	transmit, msg := s.Tick(t)
+	return transmit, msg, s.nextWake(t)
+}
+
+// nextWake derives the sleep window from the post-Tick state: a colorer
+// that quit sleeps to the backbone boundary (everyone must tick there
+// to fix its flood probability), a station without the current window's
+// token draws nothing until the next window opens (closeWindow runs on
+// that tick), and a station past the last window is done for good —
+// the final closeWindow happens in finalize, not in a Tick.
+func (s *station) nextWake(t int) int {
+	colorLen := s.cfg.Coloring.TotalRounds()
+	if t < colorLen {
+		if s.machine.Done() {
+			return colorLen
+		}
+		return t + 1
+	}
+	total := s.cfg.Bits()
+	bitIdx := (t - colorLen) / s.window
+	if bitIdx >= total {
+		return sim.NeverWake
+	}
+	if s.hasToken {
+		return t + 1
+	}
+	if bitIdx+1 >= total {
+		return sim.NeverWake
+	}
+	return colorLen + (bitIdx+1)*s.window
+}
+
 // closeWindow folds the finished window's outcome into the prefix.
 func (s *station) closeWindow() {
 	bit := int64(1)

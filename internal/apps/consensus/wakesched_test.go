@@ -1,0 +1,36 @@
+package consensus
+
+import (
+	"reflect"
+	"testing"
+
+	"sinrcast/internal/sim"
+)
+
+// TestConsensusWakeSchedulingByteIdentical pins the §5-app side of the
+// wake-scheduling contract: windowed silence (stations without the
+// current window's token sleep to the next window start) and the
+// coloring-quit gap produce a Result identical to the tick-everyone
+// reference.
+func TestConsensusWakeSchedulingByteIdentical(t *testing.T) {
+	net := genNet(t, 32, 4)
+	msgs := make([]int64, net.N())
+	for i := range msgs {
+		msgs[i] = int64((i*37 + 11) % 16)
+	}
+	run := func() *Result {
+		res, err := Run(net, cfgFor(net, 15), 9, msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	prev := sim.SetWakeSchedulingDefault(false)
+	ref := run()
+	sim.SetWakeSchedulingDefault(true)
+	sched := run()
+	sim.SetWakeSchedulingDefault(prev)
+	if !reflect.DeepEqual(ref, sched) {
+		t.Fatalf("consensus diverges under wake scheduling:\nref   %+v\nsched %+v", ref, sched)
+	}
+}

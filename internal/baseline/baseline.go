@@ -104,6 +104,14 @@ func RunFloodOn(net *network.Network, pol Policy, seed uint64, source, budget in
 	res := &broadcast.Result{InformTime: informedAt}
 	count := 1
 	tx := make([]int, 0, n)
+	// infList is the ascending list of informed stations: only they draw
+	// and transmit, so the per-round tick cost is O(informed), not O(n).
+	// The reference loop scanned all n and short-circuited on the
+	// informed flag; iterating the list makes the identical TxProb and
+	// Bernoulli calls in the identical (ascending) order.
+	infList := make([]int, 1, n)
+	infList[0] = source
+	var newInf []int
 	var listeners []int
 	listenersStale := true
 	lastInform := 0
@@ -111,8 +119,8 @@ func RunFloodOn(net *network.Network, pol Policy, seed uint64, source, budget in
 	for t := 0; t < budget && count < n; t++ {
 		pol.Prepare(t, informed)
 		tx = tx[:0]
-		for i := 0; i < n; i++ {
-			if informed[i] && rnds[i].Bernoulli(pol.TxProb(i, t, informedAt[i])) {
+		for _, i := range infList {
+			if rnds[i].Bernoulli(pol.TxProb(i, t, informedAt[i])) {
 				tx = append(tx, i)
 			}
 		}
@@ -131,13 +139,31 @@ func RunFloodOn(net *network.Network, pol Policy, seed uint64, source, budget in
 		} else {
 			rec = phys.Resolve(tx)
 		}
+		newInf = newInf[:0]
 		for _, rc := range rec {
 			if !informed[rc.Receiver] {
 				informed[rc.Receiver] = true
 				informedAt[rc.Receiver] = t
+				newInf = append(newInf, rc.Receiver)
 				count++
 				lastInform = t + 1
 				listenersStale = true
+			}
+		}
+		if len(newInf) > 0 {
+			// Receptions arrive in ascending receiver order; merge them
+			// into the (ascending, disjoint) informed list from the back.
+			oldLen := len(infList)
+			infList = infList[:oldLen+len(newInf)]
+			oi, ni := oldLen-1, len(newInf)-1
+			for k := len(infList) - 1; ni >= 0; k-- {
+				if oi >= 0 && infList[oi] > newInf[ni] {
+					infList[k] = infList[oi]
+					oi--
+				} else {
+					infList[k] = newInf[ni]
+					ni--
+				}
 			}
 		}
 		metrics.Rounds++

@@ -99,15 +99,27 @@ func RunNoSMulti(net *network.Network, cfg Config, seed uint64, wakeAt []int, pa
 		}
 	}
 	budget += maxWake
+	// Spontaneous wake-ups are applied inside Tick at the station's
+	// wakeAt round; index them by round so each Step inspects only the
+	// stations due this round instead of scanning all n. (A station
+	// informed by reception before its wakeAt is counted by the tracer;
+	// its informedAt then predates its slot here and the check skips it.)
+	wakers := make(map[int][]int)
+	for i, w := range wakeAt {
+		if w > 0 {
+			wakers[w] = append(wakers[w], i)
+		}
+	}
 	for eng.Metrics.Rounds < budget && remaining > 0 {
 		t := eng.Round()
 		eng.Step()
-		// Spontaneous wake-ups are applied inside Tick; account for the
-		// ones that fired this round.
-		for i, st := range stations {
-			if st.informedAt == t {
-				markInformed(i, t)
+		if due, ok := wakers[t]; ok {
+			for _, i := range due {
+				if stations[i].informedAt == t {
+					markInformed(i, t)
+				}
 			}
+			delete(wakers, t)
 		}
 	}
 

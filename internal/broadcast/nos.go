@@ -98,6 +98,41 @@ func (s *nosStation) Tick(t int) (bool, sim.Message) {
 	return false, sim.Message{}
 }
 
+var _ sim.Sleeper = (*nosStation)(nil)
+
+// TickWake implements sim.Sleeper: Tick plus the next round this
+// station's Tick is not a provable no-op.
+func (s *nosStation) TickWake(t int) (bool, sim.Message, int) {
+	transmit, msg := s.Tick(t)
+	return transmit, msg, s.nextWake(t)
+}
+
+// nextWake derives the sleep window from the post-Tick state. The
+// no-op guarantees: an uninformed station's ticks change nothing (the
+// boundary Reset is an identity on a pristine machine) until its
+// spontaneous wake round, if any; an informed-but-inactive station does
+// nothing before the next phase boundary; an active station that quit
+// the coloring draws nothing until part 2 opens at colorLen. Everything
+// else — colorers, part-2 transmitters — draws randomness every round
+// and must tick every round.
+func (s *nosStation) nextWake(t int) int {
+	if !s.informed {
+		if s.wakeAt > t {
+			return s.wakeAt
+		}
+		return sim.NeverWake
+	}
+	r := t % s.phaseLen
+	phaseStart := t - r
+	if !s.active {
+		return phaseStart + s.phaseLen
+	}
+	if r < s.colorLen && s.machine.Done() {
+		return phaseStart + s.colorLen
+	}
+	return t + 1
+}
+
 // Recv implements sim.Protocol.
 func (s *nosStation) Recv(t int, msg sim.Message) {
 	if !s.informed {

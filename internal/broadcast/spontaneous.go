@@ -61,6 +61,32 @@ func (s *sbStation) Tick(t int) (bool, sim.Message) {
 	}
 }
 
+var _ sim.Sleeper = (*sbStation)(nil)
+
+// TickWake implements sim.Sleeper.
+func (s *sbStation) TickWake(t int) (bool, sim.Message, int) {
+	transmit, msg := s.Tick(t)
+	return transmit, msg, s.nextWake(t)
+}
+
+// nextWake derives the sleep window from the post-Tick state: a colorer
+// that quit draws nothing until the dedicated source round at colorLen
+// (where everyone must tick to fix its Fact 11 probability), and past
+// the coloring an uninformed station draws nothing until a reception
+// informs it. Informed stations gamble every round.
+func (s *sbStation) nextWake(t int) int {
+	if t < s.colorLen {
+		if s.machine.Done() {
+			return s.colorLen
+		}
+		return t + 1
+	}
+	if s.informed {
+		return t + 1
+	}
+	return sim.NeverWake
+}
+
 // Recv implements sim.Protocol.
 func (s *sbStation) Recv(t int, msg sim.Message) {
 	colorLen := s.colorLen

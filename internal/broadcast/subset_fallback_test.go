@@ -1,0 +1,65 @@
+package broadcast
+
+import (
+	"reflect"
+	"testing"
+
+	"sinrcast/internal/network"
+	"sinrcast/internal/sim"
+	"sinrcast/internal/sinr"
+)
+
+// fullOnlyChannel hides the engine's ResolveFor, so sim.Engine's
+// receiver-activity hook must fall back to full resolution — the
+// wrapper-channel shape (e.g. a fading layer that only implements
+// Resolve) exercised at the protocol level rather than with bare
+// beacons.
+type fullOnlyChannel struct{ inner sim.Resolver }
+
+func (f fullOnlyChannel) Resolve(tx []int) []sinr.Reception { return f.inner.Resolve(tx) }
+func (f fullOnlyChannel) N() int                            { return f.inner.N() }
+
+// TestRunSSubsetFallback pins that a broadcast whose runner deactivates
+// informed receivers (RunS) produces the same outcome when its channel
+// lacks SubsetResolver: deactivated stations' Recv is a no-op, so the
+// fallback's extra deliveries cannot change any state machine. Inform
+// times, round counts and completion must be identical; only the
+// reception count may grow (full resolution still delivers to stations
+// the subset path skips).
+func TestRunSSubsetFallback(t *testing.T) {
+	net := genUniform(t, 48, 8, 9)
+	run := func(wrap bool) *Result {
+		cfg := cfgFor(net)
+		if wrap {
+			cfg.Channel = func(nw *network.Network) (sim.Resolver, error) {
+				e, err := sinr.NewEngine(nw.Space, nw.Params)
+				if err != nil {
+					return nil, err
+				}
+				return fullOnlyChannel{e}, nil
+			}
+		}
+		res, err := RunS(net, cfg, 13, 0, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	direct, wrapped := run(false), run(true)
+	if !reflect.DeepEqual(direct.InformTime, wrapped.InformTime) {
+		t.Errorf("inform times diverge without SubsetResolver:\ndirect  %v\nwrapped %v",
+			direct.InformTime, wrapped.InformTime)
+	}
+	if direct.Rounds != wrapped.Rounds || direct.AllInformed != wrapped.AllInformed {
+		t.Errorf("completion diverges: direct (%d, %v) vs wrapped (%d, %v)",
+			direct.Rounds, direct.AllInformed, wrapped.Rounds, wrapped.AllInformed)
+	}
+	if wrapped.Metrics.Receptions < direct.Metrics.Receptions {
+		t.Errorf("fallback delivered fewer receptions (%d) than the subset path (%d)",
+			wrapped.Metrics.Receptions, direct.Metrics.Receptions)
+	}
+	if direct.Metrics.Transmissions != wrapped.Metrics.Transmissions {
+		t.Errorf("transmissions diverge: %d vs %d",
+			direct.Metrics.Transmissions, wrapped.Metrics.Transmissions)
+	}
+}

@@ -1,0 +1,80 @@
+package broadcast
+
+import (
+	"reflect"
+	"testing"
+
+	"sinrcast/internal/sim"
+)
+
+// withWakeSched runs fn twice — wake scheduling off (the tick-everyone
+// reference) and on — and returns both results for comparison.
+func withWakeSched[T any](t *testing.T, fn func() T) (ref, sched T) {
+	t.Helper()
+	prev := sim.SetWakeSchedulingDefault(false)
+	ref = fn()
+	sim.SetWakeSchedulingDefault(true)
+	sched = fn()
+	sim.SetWakeSchedulingDefault(prev)
+	return ref, sched
+}
+
+func mustEqualResults(t *testing.T, name string, ref, sched *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(ref, sched) {
+		t.Fatalf("%s diverges under wake scheduling:\nref   %+v\nsched %+v", name, ref, sched)
+	}
+}
+
+// TestRunNoSWakeSchedulingByteIdentical pins the tentpole contract at
+// the protocol level: NoSBroadcast — coloring preamble gaps, phase
+// waits, uninformed sleep — produces an identical Result (inform times,
+// rounds, every metric) with the calendar queue on or off.
+func TestRunNoSWakeSchedulingByteIdentical(t *testing.T) {
+	for _, n := range []int{32, 64} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			net := genUniform(t, n, 8, seed)
+			ref, sched := withWakeSched(t, func() *Result {
+				res, err := RunNoS(net, cfgFor(net), seed+10, 0, 7)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			})
+			mustEqualResults(t, "RunNoS", ref, sched)
+		}
+	}
+}
+
+func TestRunSWakeSchedulingByteIdentical(t *testing.T) {
+	net := genUniform(t, 48, 8, 5)
+	ref, sched := withWakeSched(t, func() *Result {
+		res, err := RunS(net, cfgFor(net), 11, 0, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	})
+	mustEqualResults(t, "RunS", ref, sched)
+}
+
+func TestRunNoSMultiWakeSchedulingByteIdentical(t *testing.T) {
+	net := genUniform(t, 48, 8, 6)
+	wakeAt := make([]int, net.N())
+	for i := range wakeAt {
+		wakeAt[i] = -1
+	}
+	// Staggered spontaneous wake-ups, including one far out so some
+	// stations sleep to a distant round.
+	wakeAt[0] = 0
+	wakeAt[7] = 3
+	wakeAt[13] = 91
+	ref, sched := withWakeSched(t, func() *Result {
+		res, err := RunNoSMulti(net, cfgFor(net), 13, wakeAt, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	})
+	mustEqualResults(t, "RunNoSMulti", ref, sched)
+}

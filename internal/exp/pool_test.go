@@ -1,0 +1,149 @@
+package exp
+
+import (
+	"testing"
+
+	"sinrcast/internal/network"
+	"sinrcast/internal/scenario"
+	"sinrcast/internal/sim"
+	"sinrcast/internal/sinr"
+)
+
+func poolTestNet(t *testing.T) *network.Network {
+	t.Helper()
+	spec := scenario.Spec{Family: "uniform", Params: map[string]float64{"n": 64, "density": 8}}
+	net, err := scenario.Generate(spec, physParams(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestEnginePoolReuses pins the amortization: one network's trials
+// share one topology construction. The first get builds (and keeps
+// the pristine prototype), a returned engine is recycled before
+// anything is built or cloned, and a get with an empty free list
+// clones the prototype instead of rebuilding.
+func TestEnginePoolReuses(t *testing.T) {
+	net := poolTestNet(t)
+	prev := SetEnginePooling(true)
+	defer SetEnginePooling(prev)
+	pool := newEnginePool(func() (sim.Resolver, error) {
+		return sinr.NewNamedEngine("hier", net.Space, net.Params)
+	})
+	a, err := pool.get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.builds != 1 {
+		t.Fatalf("builds after first get = %d, want 1", pool.builds)
+	}
+	if a == pool.proto {
+		t.Fatal("pool handed out its pristine prototype")
+	}
+	b, err := pool.get() // free list empty: must clone, not rebuild
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.builds != 1 {
+		t.Fatalf("builds after second get = %d, want 1 (clone expected)", pool.builds)
+	}
+	if a == b {
+		t.Fatal("pool handed the same engine to two concurrent trials")
+	}
+	pool.put(a)
+	c, err := pool.get() // must recycle a
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a {
+		t.Fatal("pool did not recycle the returned engine")
+	}
+	if pool.builds != 1 {
+		t.Fatalf("builds after recycle = %d, want 1", pool.builds)
+	}
+	_ = b
+}
+
+// TestEnginePoolDisabled pins the reference path: with pooling off
+// every get is a fresh construction and put drops the engine.
+func TestEnginePoolDisabled(t *testing.T) {
+	net := poolTestNet(t)
+	prev := SetEnginePooling(false)
+	defer SetEnginePooling(prev)
+	pool := newEnginePool(func() (sim.Resolver, error) {
+		return sinr.NewEngine(net.Space, net.Params)
+	})
+	a, err := pool.get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.put(a)
+	b, err := pool.get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("disabled pool recycled an engine")
+	}
+	if pool.builds != 2 {
+		t.Fatalf("builds = %d, want 2", pool.builds)
+	}
+}
+
+// TestEnginePoolNotCloneable pins the wrapper-channel fallback: a
+// non-cloneable resolver is never pooled, so every trial gets a fresh
+// one (per-trial RNG state stays per-trial).
+func TestEnginePoolNotCloneable(t *testing.T) {
+	net := poolTestNet(t)
+	prev := SetEnginePooling(true)
+	defer SetEnginePooling(prev)
+	pool := newEnginePool(func() (sim.Resolver, error) {
+		return sinr.NewFadingEngine(net.Space, net.Params, 5)
+	})
+	a, err := pool.get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.put(a)
+	b, err := pool.get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("pool recycled a fading engine (per-trial RNG must not be shared)")
+	}
+	if pool.builds != 2 {
+		t.Fatalf("builds = %d, want 2", pool.builds)
+	}
+}
+
+// TestE14PoolingIdentity pins the acceptance contract end to end: the
+// deterministic E14 columns are byte-identical with engine pooling on
+// and off (rounds/s, the wall-clock column, is excluded by design).
+func TestE14PoolingIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment")
+	}
+	run := func(pooling bool) [][]string {
+		prev := SetEnginePooling(pooling)
+		defer SetEnginePooling(prev)
+		cfg := Config{Seed: 7, Trials: 2, Scale: 0.001, Engine: "auto", Workers: 2}
+		tb, err := E14LargeNScaling(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb.Rows
+	}
+	a, b := run(true), run(false)
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		for col := 0; col < 7; col++ { // all but rounds/s
+			if a[i][col] != b[i][col] {
+				t.Errorf("row %d col %d differs with pooling: %v vs %v", i, col, a[i][col], b[i][col])
+			}
+		}
+	}
+}

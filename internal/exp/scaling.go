@@ -69,10 +69,25 @@ func E14LargeNScaling(cfg Config) (*stats.Table, error) {
 			if n >= 100000 && trials > 2 {
 				trials = 2
 			}
+			// All trials at this point share one deployment, so they
+			// share one engine pool: the first trial pays the topology
+			// construction, later ones clone or recycle (engine purity
+			// makes reuse byte-identical; see SetEnginePooling).
+			pool := newEnginePool(func() (sim.Resolver, error) {
+				if ch != nil {
+					return ch(net)
+				}
+				return sinr.NewEngine(net.Space, net.Params)
+			})
 			for ai, alg := range []string{"nos", "decay"} {
 				point := matrixKey(fam, fmt.Sprintf("%d/%s", base, alg))
 				runs, err := runNTrials(cfg, trials, 14, point+uint64(ai), func(seed uint64) (scalingRun, error) {
-					return scalingTrial(net, alg, seed, budget, ch)
+					phys, err := pool.get()
+					if err != nil {
+						return scalingRun{}, err
+					}
+					defer pool.put(phys)
+					return scalingTrial(net, alg, seed, budget, phys)
 				})
 				if err != nil {
 					return nil, fmt.Errorf("E14 %s n=%d %s: %w", fam, n, alg, err)
@@ -103,9 +118,10 @@ type scalingRun struct {
 	roundsPerSec float64
 }
 
-// scalingTrial runs one bounded trial of alg on net. A nil ch is the
-// default exact engine (protocol.NamedChannel's "exact" mapping).
-func scalingTrial(net *network.Network, alg string, seed uint64, budget int, ch protocol.Channel) (scalingRun, error) {
+// scalingTrial runs one bounded trial of alg on net, resolving rounds
+// with the pool-provided engine phys (nil falls back to each runner's
+// default exact engine).
+func scalingTrial(net *network.Network, alg string, seed uint64, budget int, phys sim.Resolver) (scalingRun, error) {
 	start := time.Now()
 	var res *broadcast.Result
 	var err error
@@ -113,16 +129,12 @@ func scalingTrial(net *network.Network, alg string, seed uint64, budget int, ch 
 	case "nos":
 		bc := bcastCfg(net)
 		bc.MaxRounds = budget
-		bc.Channel = ch
+		if phys != nil {
+			bc.Channel = func(*network.Network) (sim.Resolver, error) { return phys, nil }
+		}
 		res, err = broadcast.RunNoS(net, bc, seed, 0, 1)
 	case "decay":
-		var phys sim.Resolver
-		if ch != nil {
-			phys, err = ch(net)
-		}
-		if err == nil {
-			res, err = baseline.RunFloodOn(net, baseline.NewDecay(net.N()), seed, 0, budget, phys)
-		}
+		res, err = baseline.RunFloodOn(net, baseline.NewDecay(net.N()), seed, 0, budget, phys)
 	default:
 		err = fmt.Errorf("exp: unknown scaling algorithm %q", alg)
 	}

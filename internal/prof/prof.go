@@ -15,12 +15,43 @@
 package prof
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync/atomic"
 )
+
+// Phase labels: the sim round loop brackets its tick / resolve /
+// deliver / trace phases with Phase so a CPU profile attributes
+// sim-layer time against resolver time (`pprof -tagfocus phase=...`).
+// Labeling costs a goroutine label swap per phase per round, so it is
+// off unless a CPU profile is being collected: Start enables it
+// automatically when -cpuprofile was given, and tests can force it
+// with SetPhases.
+
+var phasesOn atomic.Bool
+
+// SetPhases toggles pprof phase labeling and returns the previous
+// value. Start flips it on for the duration of a CPU profile.
+func SetPhases(on bool) (prev bool) { return phasesOn.Swap(on) }
+
+// PhasesEnabled reports whether Phase currently applies labels. Hot
+// loops check it once per round and skip the closure entirely when off,
+// keeping the steady state allocation-free.
+func PhasesEnabled() bool { return phasesOn.Load() }
+
+// Phase runs fn under the pprof label phase=name when labeling is
+// enabled, and plainly otherwise.
+func Phase(name string, fn func()) {
+	if !phasesOn.Load() {
+		fn()
+		return
+	}
+	pprof.Do(context.Background(), pprof.Labels("phase", name), func(context.Context) { fn() })
+}
 
 // Config holds the profile destinations parsed from the flags.
 type Config struct {
@@ -52,10 +83,12 @@ func (c *Config) Start() (stop func() error, err error) {
 			cpuFile.Close()
 			return nil, fmt.Errorf("prof: %w", err)
 		}
+		SetPhases(true)
 	}
 	memPath := c.memPath
 	return func() error {
 		if cpuFile != nil {
+			SetPhases(false)
 			pprof.StopCPUProfile()
 			if err := cpuFile.Close(); err != nil {
 				return fmt.Errorf("prof: %w", err)

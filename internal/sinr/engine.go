@@ -32,19 +32,11 @@ type Reception struct {
 //
 // The zero value is not usable; construct with NewEngine. An Engine is
 // not safe for concurrent use by multiple goroutines (it owns scratch
-// state); use one Engine per goroutine instead.
+// state); use one Engine per goroutine instead — Clone is the cheap way
+// to get one, sharing the topology-derived slabs and allocating only
+// the per-run scratch.
 type Engine struct {
-	params Params
-	kern   Kernel
-	space  geom.Space
-	// pts is a fast-path cache of planar positions when the space is
-	// Euclidean; nil otherwise. ptsX/ptsY are the same coordinates as
-	// structure-of-arrays slabs — the accumulate inner loops stream
-	// through one coordinate axis at a time, and the slab layout keeps
-	// those streams dense in cache.
-	pts  []geom.Point
-	ptsX []float64
-	ptsY []float64
+	*engineTopo
 
 	// workers is the resolved worker count; minParallelN is the
 	// receiver count below which rounds stay serial; pinned opts the
@@ -75,33 +67,85 @@ type Engine struct {
 	out []Reception
 }
 
+// engineTopo is the immutable half of an Engine: everything derived
+// from the (space, params) pair alone, never written after
+// construction. Clones of one engine share a single engineTopo — the
+// position slabs are the bulk of an exact engine's footprint — and
+// allocate only the mutable half (scratch arrays, runner, output).
+type engineTopo struct {
+	params Params
+	kern   Kernel
+	space  geom.Space
+	// pts is a fast-path cache of planar positions when the space is
+	// Euclidean; nil otherwise. ptsX/ptsY are the same coordinates as
+	// structure-of-arrays slabs — the accumulate inner loops stream
+	// through one coordinate axis at a time, and the slab layout keeps
+	// those streams dense in cache.
+	pts  []geom.Point
+	ptsX []float64
+	ptsY []float64
+}
+
 // NewEngine builds an engine for the given space and parameters. The
 // worker count defaults to runtime.GOMAXPROCS(0); see SetWorkers.
 func NewEngine(s geom.Space, p Params) (*Engine, error) {
 	if err := p.Validate(s.Growth()); err != nil {
 		return nil, err
 	}
-	n := s.Len()
-	e := &Engine{
-		params:       p,
-		kern:         NewKernel(p.Alpha),
-		space:        s,
-		workers:      resolveWorkers(0),
-		minParallelN: parallelCrossover,
-		sig:          make([]float64, n),
-		best:         make([]int32, n),
-		bestD:        make([]float64, n),
-		isTx:         make([]bool, n),
+	tp := &engineTopo{
+		params: p,
+		kern:   NewKernel(p.Alpha),
+		space:  s,
 	}
 	if eu, ok := s.(*geom.Euclidean); ok {
-		e.pts = eu.Pts
-		e.ptsX = make([]float64, n)
-		e.ptsY = make([]float64, n)
+		n := s.Len()
+		tp.pts = eu.Pts
+		tp.ptsX = make([]float64, n)
+		tp.ptsY = make([]float64, n)
 		for i, q := range eu.Pts {
-			e.ptsX[i], e.ptsY[i] = q.X, q.Y
+			tp.ptsX[i], tp.ptsY[i] = q.X, q.Y
 		}
 	}
-	return e, nil
+	return engineFromTopo(tp), nil
+}
+
+// engineFromTopo builds the mutable per-run half of an engine over
+// an already-built topology. Both NewEngine and Clone go through it, so
+// a clone starts in exactly the state a fresh construction would. The
+// scratch arrays are allocated lazily on first resolve (see
+// ensureRunState), which keeps cloning down to pointer copies.
+func engineFromTopo(tp *engineTopo) *Engine {
+	return &Engine{
+		engineTopo:   tp,
+		workers:      resolveWorkers(0),
+		minParallelN: parallelCrossover,
+	}
+}
+
+// ensureRunState allocates the per-round scratch on first use; sig
+// doubles as the "already allocated" sentinel (engines require at
+// least one station).
+func (e *Engine) ensureRunState() {
+	if e.sig != nil {
+		return
+	}
+	n := e.space.Len()
+	e.sig = make([]float64, n)
+	e.best = make([]int32, n)
+	e.bestD = make([]float64, n)
+	e.isTx = make([]bool, n)
+}
+
+// Clone returns an independent engine sharing this engine's immutable
+// topology (positions, kernel, space) with fresh per-run scratch. The
+// clone resolves byte-identically to a freshly constructed engine and
+// may be used concurrently with the original — each engine still owns
+// its scratch, so no single engine is concurrency-safe, but separate
+// clones are. Tuning (workers, pinning, parallel crossover) is copied.
+func (e *Engine) Clone() *Engine {
+	c := engineFromTopo(e.engineTopo)
+	c.workers, c.minParallelN, c.pinned = e.workers, e.minParallelN, e.pinned
+	return c
 }
 
 // Params returns the physical parameters the engine was built with.
@@ -133,6 +177,7 @@ func (e *Engine) Resolve(tx []int) []Reception {
 	if len(tx) == 0 {
 		return nil
 	}
+	e.ensureRunState()
 	n := e.space.Len()
 	for _, t := range tx {
 		if t < 0 || t >= n {
@@ -165,6 +210,7 @@ func (e *Engine) ResolveFor(tx []int, receivers []int) []Reception {
 	if len(tx) == 0 || len(receivers) == 0 {
 		return nil
 	}
+	e.ensureRunState()
 	n := e.space.Len()
 	checkReceivers(receivers, n)
 	for _, t := range tx {

@@ -66,7 +66,8 @@ func gridDims(pts []geom.Point, cellSize float64) (cols, rows int, minX, minY fl
 // per-receiver loop splits into chunks run by the work-stealing runner
 // on large networks, with byte-identical output for every worker count
 // and steal interleaving. A
-// GridEngine is not safe for concurrent use by multiple goroutines.
+// GridEngine is not safe for concurrent use by multiple goroutines;
+// Clone gives each goroutine its own engine over the shared topology.
 //
 // The per-receiver far-field cost is O(liveCells): every cell holding a
 // transmitter is visited per receiver. HierEngine replaces that scan
@@ -75,6 +76,29 @@ func gridDims(pts []geom.Point, cellSize float64) (cols, rows int, minX, minY fl
 // everywhere correctness matters; TestGridEngineAgreement measures the
 // disagreement rate against it.
 type GridEngine struct {
+	*gridTopo
+
+	workers      int
+	minParallelN int
+	pinned       bool
+	par          chunkRunner
+	chunkFn      func(chunk, worker int)
+	chunkForFn   func(chunk, worker int)
+
+	// per-round scratch
+	cellPower []float64
+	txInCell  [][]int32
+	isTx      []bool
+	liveCells []int32
+	curRecv   []int // receiver subset of the ResolveFor round being chunked
+	out       []Reception
+}
+
+// gridTopo is the immutable half of a GridEngine: parameters, position
+// slabs and the cell geometry (station→cell map, per-cell CSR, cell
+// centers), all fixed at construction. Clones share one gridTopo and
+// allocate only the mutable per-round state.
+type gridTopo struct {
 	params Params
 	kern   Kernel
 	pts    []geom.Point
@@ -96,21 +120,6 @@ type GridEngine struct {
 	cellStart  []int32 // CSR index of stations per cell
 	cellItems  []int32 // station ids sorted by cell
 	cellCenter []geom.Point
-
-	workers      int
-	minParallelN int
-	pinned       bool
-	par          chunkRunner
-	chunkFn      func(chunk, worker int)
-	chunkForFn   func(chunk, worker int)
-
-	// per-round scratch
-	cellPower []float64
-	txInCell  [][]int32
-	isTx      []bool
-	liveCells []int32
-	curRecv   []int // receiver subset of the ResolveFor round being chunked
-	out       []Reception
 }
 
 // NewGridEngine builds a grid engine over Euclidean points. cellSize is
@@ -137,7 +146,7 @@ func NewGridEngine(eu *geom.Euclidean, p Params, cellSize, nearRadius float64) (
 	if err != nil {
 		return nil, err
 	}
-	g := &GridEngine{
+	tp := &gridTopo{
 		params:    p,
 		kern:      NewKernel(p.Alpha),
 		pts:       pts,
@@ -146,46 +155,76 @@ func NewGridEngine(eu *geom.Euclidean, p Params, cellSize, nearRadius float64) (
 		nearCells: int(math.Ceil(nearRadius/cellSize)) + 1,
 		cols:      cols, rows: rows,
 		minX: minX, minY: minY,
-		workers:      resolveWorkers(0),
-		minParallelN: parallelCrossover,
-		cellOf:       make([]int32, n),
-		cellPower:    make([]float64, cols*rows),
-		txInCell:     make([][]int32, cols*rows),
-		isTx:         make([]bool, n),
+		cellOf: make([]int32, n),
 	}
-	g.ptsX = make([]float64, n)
-	g.ptsY = make([]float64, n)
+	tp.ptsX = make([]float64, n)
+	tp.ptsY = make([]float64, n)
 	counts := make([]int32, cols*rows+1)
 	for i, q := range pts {
-		g.ptsX[i], g.ptsY[i] = q.X, q.Y
-		c := g.cellIndex(q)
-		g.cellOf[i] = int32(c)
+		tp.ptsX[i], tp.ptsY[i] = q.X, q.Y
+		c := tp.cellIndex(q)
+		tp.cellOf[i] = int32(c)
 		counts[c+1]++
 	}
 	for c := 1; c <= cols*rows; c++ {
 		counts[c] += counts[c-1]
 	}
-	g.cellStart = counts
-	g.cellItems = make([]int32, n)
+	tp.cellStart = counts
+	tp.cellItems = make([]int32, n)
 	fill := make([]int32, cols*rows)
 	for i := range pts {
-		c := g.cellOf[i]
-		g.cellItems[g.cellStart[c]+fill[c]] = int32(i)
+		c := tp.cellOf[i]
+		tp.cellItems[tp.cellStart[c]+fill[c]] = int32(i)
 		fill[c]++
 	}
-	g.cellCenter = make([]geom.Point, cols*rows)
-	for c := range g.cellCenter {
+	tp.cellCenter = make([]geom.Point, cols*rows)
+	for c := range tp.cellCenter {
 		cx := c % cols
 		cy := c / cols
-		g.cellCenter[c] = geom.Point{
+		tp.cellCenter[c] = geom.Point{
 			X: minX + (float64(cx)+0.5)*cellSize,
 			Y: minY + (float64(cy)+0.5)*cellSize,
 		}
 	}
-	return g, nil
+	return gridFromTopo(tp), nil
 }
 
-func (g *GridEngine) cellIndex(q geom.Point) int {
+// gridFromTopo builds the mutable per-round half over a topology;
+// NewGridEngine and Clone both go through it. The per-round arrays
+// are allocated lazily on first resolve (see ensureRunState), which
+// keeps cloning down to pointer copies.
+func gridFromTopo(tp *gridTopo) *GridEngine {
+	return &GridEngine{
+		gridTopo:     tp,
+		workers:      resolveWorkers(0),
+		minParallelN: parallelCrossover,
+	}
+}
+
+// ensureRunState allocates the per-round arrays on first use. The
+// grid always has at least one cell, so cellPower doubles as the
+// "already allocated" sentinel.
+func (g *GridEngine) ensureRunState() {
+	if g.cellPower != nil {
+		return
+	}
+	g.cellPower = make([]float64, g.cols*g.rows)
+	g.txInCell = make([][]int32, g.cols*g.rows)
+	g.isTx = make([]bool, len(g.pts))
+}
+
+// Clone returns an independent engine sharing this engine's immutable
+// topology (positions, cell CSR, cell centers) with fresh per-round
+// state. The clone resolves byte-identically to a freshly constructed
+// engine; separate clones may run concurrently. Tuning (workers,
+// pinning, parallel crossover) is copied.
+func (g *GridEngine) Clone() *GridEngine {
+	c := gridFromTopo(g.gridTopo)
+	c.workers, c.minParallelN, c.pinned = g.workers, g.minParallelN, g.pinned
+	return c
+}
+
+func (g *gridTopo) cellIndex(q geom.Point) int {
 	cx := int((q.X - g.minX) / g.cellSize)
 	cy := int((q.Y - g.minY) / g.cellSize)
 	if cx < 0 {
@@ -249,6 +288,7 @@ func (g *GridEngine) Resolve(tx []int) []Reception {
 	if len(tx) == 0 {
 		return nil
 	}
+	g.ensureRunState()
 	g.aggregate(tx)
 
 	n := len(g.pts)
@@ -272,6 +312,7 @@ func (g *GridEngine) ResolveFor(tx []int, receivers []int) []Reception {
 	if len(tx) == 0 || len(receivers) == 0 {
 		return nil
 	}
+	g.ensureRunState()
 	checkReceivers(receivers, len(g.pts))
 	g.aggregate(tx)
 

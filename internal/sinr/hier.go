@@ -167,40 +167,14 @@ type hierChunk struct {
 // Kernel, large rounds split into chunks executed by the work-stealing
 // runner with byte-identical output for every worker count and steal
 // interleaving, and ResolveFor restricts a round to a receiver subset.
-// A HierEngine is not safe for concurrent use by multiple goroutines.
+// A HierEngine is not safe for concurrent use by multiple goroutines;
+// Clone gives each goroutine its own engine over the shared topology.
 type HierEngine struct {
-	params   Params
-	kern     Kernel
-	pts      []geom.Point
-	ptsX     []float64 // structure-of-arrays slabs of pts
-	ptsY     []float64
-	cellSize float64
-	nearR2   float64
-	theta2   float64
-	// nearCells is the near-field box radius in cells (see GridEngine).
-	nearCells int
+	*hierTopo
 
-	cols, rows int
-	minX, minY float64
-	// rectPad expands block rectangles during the shared descent so
-	// floating-point rounding in cell assignment can never place a
-	// boundary receiver outside its block's rectangle (padding only
-	// moves borderline nodes from accepted to descended — the safe
-	// direction).
-	rectPad float64
-	cellOf  []int32
-	// Receiver blocks: the plane is cut into frontierBlock-sized
-	// squares of cells; bcols×brows of them. blockItems[blockStart[b]:
-	// blockStart[b+1]] are block b's stations in ascending index order
-	// (a static CSR) — the memoized receiver loop walks blocks, not
-	// indices, so receivers of one block are resolved back to back
-	// against the block's shared slabs. blockStamp dedups per-round
-	// block visits.
-	bcols, brows int
-	blockStart   []int32
-	blockItems   []int32
-	blockStamp   []uint32
-	levels       []pyrLevel
+	// blockStamp dedups per-round block visits.
+	blockStamp []uint32
+	levels     []pyrLevel
 
 	workers      int
 	minParallelN int
@@ -290,6 +264,43 @@ type HierEngine struct {
 	out      []Reception
 }
 
+// hierTopo is the immutable half of a HierEngine: parameters, position
+// slabs, the cell geometry and the receiver-block CSR, all fixed at
+// construction. The pyramid's aggregates are per-run state and live in
+// the engine (their shape is rebuilt from cols/rows/cellSize); clones
+// share one hierTopo and allocate only the mutable half.
+type hierTopo struct {
+	params   Params
+	kern     Kernel
+	pts      []geom.Point
+	ptsX     []float64 // structure-of-arrays slabs of pts
+	ptsY     []float64
+	cellSize float64
+	nearR2   float64
+	theta2   float64
+	// nearCells is the near-field box radius in cells (see GridEngine).
+	nearCells int
+
+	cols, rows int
+	minX, minY float64
+	// rectPad expands block rectangles during the shared descent so
+	// floating-point rounding in cell assignment can never place a
+	// boundary receiver outside its block's rectangle (padding only
+	// moves borderline nodes from accepted to descended — the safe
+	// direction).
+	rectPad float64
+	cellOf  []int32
+	// Receiver blocks: the plane is cut into frontierBlock-sized
+	// squares of cells; bcols×brows of them. blockItems[blockStart[b]:
+	// blockStart[b+1]] are block b's stations in ascending index order
+	// (a static CSR) — the memoized receiver loop walks blocks, not
+	// indices, so receivers of one block are resolved back to back
+	// against the block's shared slabs.
+	bcols, brows int
+	blockStart   []int32
+	blockItems   []int32
+}
+
 // NewHierEngine builds a hierarchical engine over Euclidean points.
 // cellSize is the base bucket side; nearRadius is the exact-summation
 // radius and must be ≥ 1 (the normalized communication range — the
@@ -315,7 +326,7 @@ func NewHierEngine(eu *geom.Euclidean, p Params, cellSize, nearRadius, theta flo
 	if err != nil {
 		return nil, err
 	}
-	h := &HierEngine{
+	tp := &hierTopo{
 		params:    p,
 		kern:      NewKernel(p.Alpha),
 		pts:       pts,
@@ -327,52 +338,78 @@ func NewHierEngine(eu *geom.Euclidean, p Params, cellSize, nearRadius, theta flo
 		nearCells: int(math.Ceil(nearRadius/cellSize)) + 1,
 		cols:      cols, rows: rows,
 		minX: minX, minY: minY,
+		cellOf: make([]int32, n),
+	}
+	span := math.Abs(minX) + math.Abs(minY) + (float64(cols)+float64(rows))*cellSize
+	tp.rectPad = 1e-12 * (span + 1)
+	for i, q := range pts {
+		tp.ptsX[i], tp.ptsY[i] = q.X, q.Y
+		tp.cellOf[i] = int32(tp.cellIndex(q))
+	}
+	// Static station CSR by receiver block (counting sort).
+	tp.bcols = (cols + frontierBlock - 1) / frontierBlock
+	tp.brows = (rows + frontierBlock - 1) / frontierBlock
+	nBlocks := tp.bcols * tp.brows
+	counts := make([]int32, nBlocks+1)
+	for _, c := range tp.cellOf {
+		counts[tp.blockOfCell(c)+1]++
+	}
+	for b := 1; b <= nBlocks; b++ {
+		counts[b] += counts[b-1]
+	}
+	tp.blockStart = counts
+	tp.blockItems = make([]int32, n)
+	fill := make([]int32, nBlocks)
+	for i := range pts {
+		b := tp.blockOfCell(tp.cellOf[i])
+		tp.blockItems[tp.blockStart[b]+fill[b]] = int32(i)
+		fill[b]++
+	}
+	return hierFromTopo(tp), nil
+}
+
+// hierFromTopo builds the mutable per-run half of a hierarchical
+// engine over an already-built topology. The run-state arrays (pyramid
+// aggregates, per-block and per-receiver caches, delta scratch) are
+// not allocated here but lazily by ensureRunState on the first
+// resolve: they scale with the cell grid, and deferring them keeps
+// cloning a large engine down to pointer copies. NewHierEngine and
+// Clone both go through here, so a clone starts in exactly the state
+// a fresh construction would.
+func hierFromTopo(tp *hierTopo) *HierEngine {
+	return &HierEngine{
+		hierTopo:       tp,
 		workers:        resolveWorkers(0),
 		minParallelN:   parallelCrossover,
 		memo:           true,
 		deltaCrossover: DefaultDeltaCrossover,
 		vec:            true,
-		cellOf:         make([]int32, n),
-		txInCell:       make([][]int32, cols*rows),
-		isTx:           make([]bool, n),
-		gone:           make([]bool, n),
-		dirtyOrd:       make([]int32, cols*rows),
-		dirtyGen:       make([]uint32, cols*rows),
+		aggEpoch:       1,
 	}
-	span := math.Abs(minX) + math.Abs(minY) + (float64(cols)+float64(rows))*cellSize
-	h.rectPad = 1e-12 * (span + 1)
-	for i, q := range pts {
-		h.ptsX[i], h.ptsY[i] = q.X, q.Y
-		h.cellOf[i] = int32(h.cellIndex(q))
+}
+
+// ensureRunState allocates the per-run arrays on first use. The
+// pyramid always has at least one level, so h.levels doubles as the
+// "already allocated" sentinel.
+func (h *HierEngine) ensureRunState() {
+	if h.levels != nil {
+		return
 	}
-	// Static station CSR by receiver block (counting sort).
-	h.bcols = (cols + frontierBlock - 1) / frontierBlock
-	h.brows = (rows + frontierBlock - 1) / frontierBlock
+	n := len(h.pts)
 	nBlocks := h.bcols * h.brows
 	h.blockStamp = make([]uint32, nBlocks)
 	h.hotCnt = make([]int32, nBlocks)
 	h.blockCache = make([]blockCacheEntry, nBlocks)
 	h.farCache = make([]float64, n)
 	h.farEpoch = make([]uint32, n)
-	h.aggEpoch = 1
-	counts := make([]int32, nBlocks+1)
-	for _, c := range h.cellOf {
-		counts[h.blockOfCell(c)+1]++
-	}
-	for b := 1; b <= nBlocks; b++ {
-		counts[b] += counts[b-1]
-	}
-	h.blockStart = counts
-	h.blockItems = make([]int32, n)
-	fill := make([]int32, nBlocks)
-	for i := range pts {
-		b := h.blockOfCell(h.cellOf[i])
-		h.blockItems[h.blockStart[b]+fill[b]] = int32(i)
-		fill[b]++
-	}
+	h.txInCell = make([][]int32, h.cols*h.rows)
+	h.isTx = make([]bool, n)
+	h.gone = make([]bool, n)
+	h.dirtyOrd = make([]int32, h.cols*h.rows)
+	h.dirtyGen = make([]uint32, h.cols*h.rows)
 	// Stack levels until a single node covers the whole grid.
-	lc, lr := cols, rows
-	side := cellSize
+	lc, lr := h.cols, h.rows
+	side := h.cellSize
 	for {
 		h.levels = append(h.levels, pyrLevel{
 			cols: lc, rows: lr,
@@ -389,17 +426,30 @@ func NewHierEngine(eu *geom.Euclidean, p Params, cellSize, nearRadius, theta flo
 		lr = (lr + 1) / 2
 		side *= 2
 	}
-	return h, nil
+}
+
+// Clone returns an independent engine sharing this engine's immutable
+// topology (positions, cell geometry, block CSR) with a fresh pyramid,
+// caches and scratch. The clone resolves byte-identically to a freshly
+// constructed engine — it inherits none of the original's cross-round
+// aggregation state — and separate clones may run concurrently. Tuning
+// (workers, pinning, crossover, memo/vectorization/delta toggles) is
+// copied.
+func (h *HierEngine) Clone() *HierEngine {
+	c := hierFromTopo(h.hierTopo)
+	c.workers, c.minParallelN, c.pinned = h.workers, h.minParallelN, h.pinned
+	c.memo, c.vec, c.deltaCrossover = h.memo, h.vec, h.deltaCrossover
+	return c
 }
 
 // blockOfCell maps a base cell to its receiver block.
-func (h *HierEngine) blockOfCell(c int32) int32 {
+func (h *hierTopo) blockOfCell(c int32) int32 {
 	cx, cy := int(c)%h.cols, int(c)/h.cols
 	return int32(cy/frontierBlock*h.bcols + cx/frontierBlock)
 }
 
 // blockCellRange returns block b's base-cell extent [x0,x1]×[y0,y1].
-func (h *HierEngine) blockCellRange(b int32) (x0, y0, x1, y1 int) {
+func (h *hierTopo) blockCellRange(b int32) (x0, y0, x1, y1 int) {
 	bx, by := int(b)%h.bcols, int(b)/h.bcols
 	x0, y0 = bx*frontierBlock, by*frontierBlock
 	x1 = min(x0+frontierBlock-1, h.cols-1)
@@ -407,7 +457,7 @@ func (h *HierEngine) blockCellRange(b int32) (x0, y0, x1, y1 int) {
 	return
 }
 
-func (h *HierEngine) cellIndex(q geom.Point) int {
+func (h *hierTopo) cellIndex(q geom.Point) int {
 	cx := int((q.X - h.minX) / h.cellSize)
 	cy := int((q.Y - h.minY) / h.cellSize)
 	if cx < 0 {
@@ -430,7 +480,10 @@ func (h *HierEngine) N() int { return len(h.pts) }
 func (h *HierEngine) Params() Params { return h.params }
 
 // Levels returns the pyramid height (for tests and diagnostics).
-func (h *HierEngine) Levels() int { return len(h.levels) }
+func (h *HierEngine) Levels() int {
+	h.ensureRunState()
+	return len(h.levels)
+}
 
 // SetWorkers sets how many goroutines Resolve may use; w ≤ 0 selects
 // runtime.GOMAXPROCS(0). Output is byte-identical for every count.
@@ -896,6 +949,7 @@ func (h *HierEngine) Resolve(tx []int) []Reception {
 	if len(tx) == 0 {
 		return nil
 	}
+	h.ensureRunState()
 	h.checkTx(tx)
 	h.prepareRound(tx)
 
@@ -934,6 +988,7 @@ func (h *HierEngine) ResolveFor(tx []int, receivers []int) []Reception {
 	if len(tx) == 0 || len(receivers) == 0 {
 		return nil
 	}
+	h.ensureRunState()
 	checkReceivers(receivers, len(h.pts))
 	h.checkTx(tx)
 	h.prepareRound(tx)
