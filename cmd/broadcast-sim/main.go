@@ -128,6 +128,10 @@ func main() {
 	d, _ := net.Diameter()
 	fmt.Printf("algorithm      %s\n", ps.String())
 	fmt.Printf("network        %s n=%d D=%d Rs=%.3g\n", sp.String(), net.N(), d, net.Granularity())
+	// The canonical physics key: paste it (with -scenario/-alg/-seed)
+	// to reproduce this run; it is also the engine-cache address the
+	// sinrcastd service shares warmed engines under.
+	fmt.Printf("physics        %s\n", sinr.EngineKey(*engine, net.Params))
 	fmt.Printf("all informed   %v\n", res.AllInformed)
 	fmt.Printf("rounds         %d\n", res.Rounds)
 	if res.Phases > 0 {

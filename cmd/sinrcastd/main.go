@@ -1,0 +1,87 @@
+// Command sinrcastd serves the simulation suite over HTTP: submit a
+// scenario+protocol (or experiment) job, poll or cancel it, stream
+// round-by-round progress as NDJSON, and fetch the result table in any
+// stats sink format — byte-identical to the batch CLIs for the same
+// configuration. See internal/serve for the API and the warm-engine
+// cache that makes repeated studies over one deployment cheap.
+//
+// Usage:
+//
+//	sinrcastd                          # listen on :8335
+//	sinrcastd -addr 127.0.0.1:9000     # explicit listen address
+//	sinrcastd -jobs 4 -queue 128       # 4 concurrent jobs, 128 queued
+//	sinrcastd -cache-mb 512            # warm-engine cache budget (0 disables)
+//
+// SIGINT/SIGTERM drain gracefully: in-flight jobs finish (up to
+// -drain), queued jobs fail cleanly, then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"sinrcast/internal/jobs"
+	"sinrcast/internal/serve"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8335", "listen address")
+		queue         = flag.Int("queue", 64, "admission queue depth (full queue answers 429)")
+		njobs         = flag.Int("jobs", 2, "jobs executing concurrently")
+		engineWorkers = flag.Int("engine-workers", runtime.GOMAXPROCS(0),
+			"total resolver-worker budget shared across running jobs")
+		cacheMB = flag.Int("cache-mb", 256, "warm-engine cache budget in MiB (0 disables)")
+		every   = flag.Int("progress-every", 256, "default progress-event cadence in rounds (-1 disables)")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget for in-flight jobs")
+	)
+	flag.Parse()
+
+	cacheBytes := int64(*cacheMB) << 20
+	if *cacheMB <= 0 {
+		cacheBytes = -1
+	}
+	srv := serve.New(serve.Config{
+		Jobs:          jobs.Config{QueueDepth: *queue, Workers: *njobs, EngineWorkers: *engineWorkers},
+		CacheBytes:    cacheBytes,
+		ProgressEvery: *every,
+	})
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "sinrcastd: listening on %s\n", *addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "sinrcastd: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "sinrcastd: draining")
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop accepting connections first, then drain the job manager; a
+	// request racing the listener close still finds a live manager.
+	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "sinrcastd: http shutdown: %v\n", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "sinrcastd: forced drain: %v\n", err)
+	}
+	fmt.Fprintln(os.Stderr, "sinrcastd: stopped")
+}

@@ -189,4 +189,27 @@
 // racing every registered protocol over every registered family at
 // matched n, whose coverage grows automatically on both axes with
 // each Register call.
+//
+// # Simulation as a service
+//
+// cmd/sinrcastd serves both registries over HTTP (internal/serve):
+// POST a scenario spec, a protocol spec (or an experiment number),
+// physics overrides and a seed to /v1/jobs; poll, cancel, stream
+// round-by-round NDJSON progress, and fetch the result table in any
+// stats sink format — byte-identical to the batch CLIs for the same
+// configuration. A JSON-RPC 2.0 twin lives at /rpc. Admission is
+// bounded (internal/jobs): a fixed-depth queue answers 429 +
+// Retry-After when full instead of buffering unbounded work, a fixed
+// worker pool shares the machine's resolver-worker budget so parallel
+// jobs never oversubscribe the cores one batch run would use, every
+// job carries its own cancellation context, and SIGTERM drains
+// in-flight jobs before exiting. The perf core is a content-addressed
+// warm-engine cache keyed by (scenario spec, sinr.EngineKey, seed) —
+// sinr.Params.Key gives physics a canonical bit-round-tripping string
+// form — that pays scenario generation plus engine construction once
+// per deployment and hands every request a ~sub-microsecond engine
+// clone over the shared topology, with singleflight collapse of
+// concurrent misses and LRU byte-budget eviction. Because resolution
+// is pure in (topology, transmitter set), result tables are
+// byte-identical at any cache temperature (CI-gated).
 package sinrcast

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"sinrcast/internal/network"
+	"sinrcast/internal/scenario"
+	"sinrcast/internal/sim"
+	"sinrcast/internal/sinr"
+)
+
+// BenchmarkServeThroughput gates the daemon's perf core. The setup
+// half isolates what the warm-engine cache saves per job: mode=cold is
+// the full deployment cost (scenario generation + engine
+// construction), mode=warm a cache hit (LRU touch + engine clone over
+// the shared topology). CI holds warm to ≥5× cheaper than cold and
+// compares cold against the committed baseline. The jobs half measures
+// end-to-end submissions through the HTTP transport in jobs/s —
+// serialization, admission, execution, result rendering — at both
+// cache temperatures.
+func BenchmarkServeThroughput(b *testing.B) {
+	b.Run("setup/n=4096", func(b *testing.B) {
+		const n, seed = 4096, 11
+		spec := scenario.Spec{Family: "uniform", Params: map[string]float64{"n": float64(n)}}
+		phys := sinr.DefaultParams()
+		buildNet := func() (*network.Network, error) {
+			return scenario.Generate(spec, phys, seed)
+		}
+		buildEngine := func(net *network.Network) (sim.Resolver, error) {
+			return sinr.NewNamedEngine("grid", net.Space, net.Params)
+		}
+		key := cacheKey(spec, "grid", phys, seed)
+
+		b.Run("mode=cold", func(b *testing.B) {
+			cache := NewCache(-1) // disabled: every Get pays the full build
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, eng, _, err := cache.Get(key, buildNet, buildEngine)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if eng == nil {
+					b.Fatal("no engine")
+				}
+			}
+		})
+		b.Run("mode=warm", func(b *testing.B) {
+			cache := NewCache(DefaultCacheBytes)
+			if _, _, _, err := cache.Get(key, buildNet, buildEngine); err != nil {
+				b.Fatal(err) // prewarm
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, eng, hit, err := cache.Get(key, buildNet, buildEngine)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !hit || eng == nil {
+					b.Fatal("prewarmed key missed")
+				}
+			}
+		})
+	})
+
+	b.Run("jobs/n=256", func(b *testing.B) {
+		// Both modes run the identical job (same seed, same topology,
+		// same protocol run) so the only difference is cache
+		// temperature: cold disables the cache and pays generation +
+		// construction per job, warm clones the prewarmed prototype.
+		runJobs := func(b *testing.B, cacheBytes int64) {
+			s := New(Config{ProgressEvery: -1, CacheBytes: cacheBytes})
+			ts := httptest.NewServer(s.Handler())
+			defer ts.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id := benchSubmit(b, ts, JobRequest{
+					Scenario: "uniform:n=256", Protocol: "decay", Seed: 7, Trials: 1,
+				})
+				resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/result?format=csv&wait=1", ts.URL, id))
+				if err != nil {
+					b.Fatal(err)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Fatalf("result: status %d", resp.StatusCode)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+		}
+		b.Run("mode=cold", func(b *testing.B) { runJobs(b, -1) })
+		b.Run("mode=warm", func(b *testing.B) { runJobs(b, DefaultCacheBytes) })
+	})
+}
+
+func benchSubmit(b *testing.B, ts *httptest.Server, req JobRequest) string {
+	b.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	var out struct{ ID string }
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		b.Fatal(err)
+	}
+	return out.ID
+}

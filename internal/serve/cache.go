@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"sinrcast/internal/network"
+	"sinrcast/internal/sim"
+	"sinrcast/internal/sinr"
+)
+
+// Cache is the content-addressed warm-engine cache behind the run-job
+// path. A key canonically identifies a deployment and its physics —
+// cacheKey composes scenario.Spec.String(), sinr.EngineKey, and the
+// seed — so two requests for the same key are guaranteed the same
+// topology slabs and byte-identical Resolve output.
+//
+// A miss pays the full setup once: scenario generation plus engine
+// construction. The built engine becomes an immutable prototype that
+// is never handed out; every request — the missing one included —
+// receives a clone (sinr.CloneResolver, ~hundreds of nanoseconds,
+// sharing the prototype's topology). Engines the sinr package cannot
+// clone (wrapper channels with per-trial state, foreign resolvers)
+// degrade gracefully: the network is still cached, and each request
+// builds a fresh engine over it.
+//
+// Concurrent misses on one key collapse to a single build
+// (singleflight): the first caller constructs, the rest wait on its
+// flight and leave with clones. Entries are LRU-evicted against a byte
+// budget estimated from station and edge counts.
+type Cache struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	lru     *list.List // of *cacheEntry, front = most recent
+	entries map[string]*list.Element
+	flights map[string]*flight
+
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type cacheEntry struct {
+	key   string
+	net   *network.Network
+	proto sim.Resolver // cloneable prototype; nil when only net is cached
+	bytes int64
+}
+
+type flight struct {
+	done chan struct{}
+	ent  *cacheEntry
+	err  error
+}
+
+// DefaultCacheBytes is the byte budget used when Config.CacheBytes is
+// zero: enough for a few dozen mid-size deployments.
+const DefaultCacheBytes = 256 << 20
+
+// NewCache builds a cache with the given byte budget. budget <= 0
+// disables caching entirely: Get always builds fresh and reports a
+// miss.
+func NewCache(budget int64) *Cache {
+	return &Cache{
+		budget:  budget,
+		lru:     list.New(),
+		entries: make(map[string]*list.Element),
+		flights: make(map[string]*flight),
+	}
+}
+
+// entryBytes estimates the resident size of a cached deployment: the
+// network's points and adjacency plus the engine topology's kernels
+// and cell structure. It intentionally overcounts a little — eviction
+// pressure should err toward freeing memory.
+func entryBytes(n *network.Network) int64 {
+	return 144*int64(n.N()) + 8*int64(n.EdgeCount()) + 4096
+}
+
+// Get returns the deployment and a request-private engine for key. On
+// a hit neither builder runs; on a miss buildNet then buildEngine run
+// exactly once across all concurrent callers of the key. The returned
+// engine is a clone of the cached prototype whenever the sinr package
+// can clone it — hit and miss hand out the same kind of object, so
+// results cannot depend on cache temperature — and a fresh
+// buildEngine product otherwise.
+func (c *Cache) Get(key string,
+	buildNet func() (*network.Network, error),
+	buildEngine func(*network.Network) (sim.Resolver, error),
+) (*network.Network, sim.Resolver, bool, error) {
+	if c.budget <= 0 {
+		net, err := buildNet()
+		if err != nil {
+			return nil, nil, false, err
+		}
+		eng, err := buildEngine(net)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		return net, eng, false, nil
+	}
+
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			c.lru.MoveToFront(el)
+			ent := el.Value.(*cacheEntry)
+			c.hits++
+			c.mu.Unlock()
+			return c.handout(ent, buildEngine, true)
+		}
+		if f, ok := c.flights[key]; ok {
+			c.mu.Unlock()
+			<-f.done
+			if f.err != nil {
+				return nil, nil, false, f.err
+			}
+			// The leader built it; loop back through the hit path (the
+			// entry may already have been evicted under pressure — then
+			// we become a fresh miss, which is correct).
+			if f.ent != nil {
+				return c.handout(f.ent, buildEngine, true)
+			}
+			continue
+		}
+		f := &flight{done: make(chan struct{})}
+		c.flights[key] = f
+		c.misses++
+		c.mu.Unlock()
+
+		net, err := buildNet()
+		var proto sim.Resolver
+		if err == nil {
+			proto, err = buildEngine(net)
+		}
+		if err != nil {
+			f.err = err
+			c.mu.Lock()
+			delete(c.flights, key)
+			c.mu.Unlock()
+			close(f.done)
+			return nil, nil, false, err
+		}
+		ent := &cacheEntry{key: key, net: net, bytes: entryBytes(net)}
+		if sinr.Cloneable(proto) {
+			ent.proto = proto
+		}
+		c.mu.Lock()
+		delete(c.flights, key)
+		c.insertLocked(ent)
+		c.mu.Unlock()
+		f.ent = ent
+		close(f.done)
+
+		if ent.proto != nil {
+			// The prototype is never handed out: the miss gets a clone
+			// too, exactly like every later hit.
+			eng, _ := sinr.CloneResolver(ent.proto)
+			return net, eng, false, nil
+		}
+		return net, proto, false, nil
+	}
+}
+
+// handout produces a request-private engine from a cached entry.
+func (c *Cache) handout(ent *cacheEntry, buildEngine func(*network.Network) (sim.Resolver, error), hit bool) (*network.Network, sim.Resolver, bool, error) {
+	if ent.proto != nil {
+		if eng, ok := sinr.CloneResolver(ent.proto); ok {
+			return ent.net, eng, hit, nil
+		}
+	}
+	eng, err := buildEngine(ent.net)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return ent.net, eng, hit, nil
+}
+
+// insertLocked adds ent and evicts least-recently-used entries until
+// the budget holds again. An entry larger than the whole budget is
+// evicted immediately — it would only displace everything else.
+func (c *Cache) insertLocked(ent *cacheEntry) {
+	if el, ok := c.entries[ent.key]; ok {
+		// A concurrent flight lost a race we never start (flights are
+		// keyed), but stay defensive: replace the existing entry.
+		c.used -= el.Value.(*cacheEntry).bytes
+		c.lru.Remove(el)
+		delete(c.entries, ent.key)
+	}
+	c.entries[ent.key] = c.lru.PushFront(ent)
+	c.used += ent.bytes
+	for c.used > c.budget && c.lru.Len() > 0 {
+		back := c.lru.Back()
+		old := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.entries, old.key)
+		c.used -= old.bytes
+		c.evictions++
+	}
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	Budget    int64 `json:"budget"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   len(c.entries),
+		Bytes:     c.used,
+		Budget:    c.budget,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,437 @@
+// Package serve is the sinrcastd control plane: simulation as a
+// service over the same registries the CLIs use. Clients submit a
+// scenario spec, a protocol spec (or an experiment-suite selection),
+// physics overrides, and a seed; the daemon answers job handles that
+// can be polled, canceled, streamed round-by-round as NDJSON, and
+// rendered as the text/CSV/JSON tables of stats.NewSink — byte-
+// identical to the batch CLIs for the same configuration.
+//
+// Two layers do the heavy lifting. internal/jobs bounds admission: a
+// fixed-depth queue that rejects with 429 + Retry-After when full, a
+// fixed worker pool, per-job cancellation, and a graceful drain on
+// shutdown. The warm-engine Cache content-addresses deployments by
+// (scenario spec, engine+physics key, seed): a miss generates the
+// topology and constructs the engine once; every request — including
+// the missing one — receives a ~sub-microsecond clone sharing the
+// immutable topology slabs, so repeated studies over one deployment
+// pay generation and construction exactly once.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"sinrcast/internal/jobs"
+	"sinrcast/internal/stats"
+)
+
+// Config sizes a Server. The zero value is serviceable: jobs.Config
+// defaults, a DefaultCacheBytes cache, progress every 256 rounds.
+type Config struct {
+	// Jobs configures the admission queue and worker pool.
+	Jobs jobs.Config
+	// CacheBytes is the warm-engine cache budget: 0 selects
+	// DefaultCacheBytes, negative disables caching.
+	CacheBytes int64
+	// ProgressEvery is the default progress-event cadence in resolved
+	// rounds for run jobs that do not set their own (0 selects 256,
+	// negative disables progress events).
+	ProgressEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheBytes == 0 {
+		c.CacheBytes = DefaultCacheBytes
+	}
+	if c.ProgressEvery == 0 {
+		c.ProgressEvery = 256
+	}
+	return c
+}
+
+// jobState pairs a jobs.Handle with the serve-side artifacts: the
+// original request, the event log feeding /stream, and the result
+// table.
+type jobState struct {
+	id     string
+	req    *JobRequest
+	handle *jobs.Handle
+	log    *eventLog
+
+	mu    sync.Mutex
+	table *stats.Table
+}
+
+func (st *jobState) setTable(t *stats.Table) {
+	st.mu.Lock()
+	st.table = t
+	st.mu.Unlock()
+	st.log.append(event{Type: "table", Job: st.id, Table: t})
+}
+
+func (st *jobState) getTable() *stats.Table {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.table
+}
+
+// Server is the daemon state: manager, cache, and the job registry.
+type Server struct {
+	cfg   Config
+	mgr   *jobs.Manager
+	cache *Cache
+
+	mu     sync.Mutex
+	states map[string]*jobState
+
+	// runHook, when set by tests, runs at the start of every job body
+	// with the job id; it lets tests gate job execution
+	// deterministically (backpressure, cancellation, shutdown).
+	runHook func(id string)
+}
+
+// New builds a Server with its own jobs.Manager and warm-engine cache.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:    cfg,
+		mgr:    jobs.New(cfg.Jobs),
+		cache:  NewCache(cfg.CacheBytes),
+		states: make(map[string]*jobState),
+	}
+}
+
+// Cache exposes the warm-engine cache (benchmarks and tests).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Shutdown drains the daemon: submissions are rejected, queued jobs
+// fail cleanly, in-flight jobs finish (or are force-canceled when ctx
+// expires). See jobs.Manager.Shutdown.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.mgr.Shutdown(ctx)
+}
+
+// Handler returns the HTTP API:
+//
+//	GET    /healthz              liveness
+//	POST   /v1/jobs              submit a JobRequest → 202 {id, state}
+//	GET    /v1/jobs              list jobs
+//	GET    /v1/jobs/{id}         job status
+//	DELETE /v1/jobs/{id}         cancel
+//	GET    /v1/jobs/{id}/stream  NDJSON event stream (replays history)
+//	GET    /v1/jobs/{id}/result  result table; ?format=text|csv|json, ?wait=1
+//	GET    /v1/cache             cache + queue statistics
+//	POST   /rpc                  JSON-RPC 2.0 (job.submit/status/cancel/list, cache.stats)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/cache", s.handleCacheStats)
+	mux.HandleFunc("POST /rpc", s.handleRPC)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]any{"error": fmt.Sprintf(format, args...)})
+}
+
+// submit validates and admits a request, returning the job state or an
+// admission error. Both transports (REST and RPC) route through it.
+func (s *Server) submit(req *JobRequest) (*jobState, error) {
+	if err := req.validate(); err != nil {
+		return nil, &badRequestError{err}
+	}
+	st := &jobState{req: req, log: newEventLog()}
+	run := func(ctx context.Context, engineWorkers int) error {
+		if s.runHook != nil {
+			s.runHook(st.id)
+		}
+		st.log.append(event{Type: "state", Job: st.id, State: string(jobs.StateRunning)})
+		var err error
+		if req.isExperiment() {
+			err = s.runExperiment(ctx, st, engineWorkers)
+		} else {
+			err = s.runSim(ctx, st, engineWorkers)
+		}
+		return err
+	}
+	h, err := s.mgr.Submit(req.name(), run)
+	if err != nil {
+		return nil, err
+	}
+	st.id = h.ID()
+	st.handle = h
+	s.mu.Lock()
+	s.states[st.id] = st
+	s.pruneLocked()
+	s.mu.Unlock()
+	st.log.append(event{Type: "state", Job: st.id, State: string(jobs.StateQueued)})
+	// Close the event stream with the terminal state once the job
+	// finishes, whatever path it took.
+	go func() {
+		<-h.Done()
+		state, jerr := h.State()
+		e := event{Type: "state", Job: st.id, State: string(state)}
+		if jerr != nil {
+			e.Error = jerr.Error()
+		}
+		st.log.append(e)
+		st.log.close()
+	}()
+	return st, nil
+}
+
+// maxStates mirrors the jobs layer's retention bound for the
+// serve-side artifacts (event logs, tables).
+const maxStates = 4096
+
+func (s *Server) pruneLocked() {
+	if len(s.states) <= maxStates {
+		return
+	}
+	for id, st := range s.states {
+		if len(s.states) <= maxStates {
+			break
+		}
+		if state, _ := st.handle.State(); state.Terminal() {
+			if _, known := s.mgr.Get(id); !known {
+				delete(s.states, id)
+			}
+		}
+	}
+}
+
+type badRequestError struct{ err error }
+
+func (e *badRequestError) Error() string { return e.err.Error() }
+func (e *badRequestError) Unwrap() error { return e.err }
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	st, err := s.submit(&req)
+	if err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+	state, _ := st.handle.State()
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": st.id, "state": string(state)})
+}
+
+func writeSubmitError(w http.ResponseWriter, err error) {
+	switch {
+	case isBadRequest(err):
+		writeError(w, http.StatusBadRequest, "%v", err)
+	case err == jobs.ErrQueueFull:
+		// Backpressure, not failure: the client should retry after the
+		// queue drains a little.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case err == jobs.ErrShutdown:
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func isBadRequest(err error) bool {
+	var bad *badRequestError
+	return errors.As(err, &bad)
+}
+
+// statusJSON is the wire form of one job's status.
+type statusJSON struct {
+	ID       string `json:"id"`
+	Name     string `json:"name"`
+	State    string `json:"state"`
+	Error    string `json:"error,omitempty"`
+	Created  string `json:"created"`
+	Started  string `json:"started,omitempty"`
+	Finished string `json:"finished,omitempty"`
+	Result   bool   `json:"result"`
+}
+
+func (s *Server) status(st *jobState) statusJSON {
+	state, err := st.handle.State()
+	created, started, finished := st.handle.Times()
+	out := statusJSON{
+		ID:      st.id,
+		Name:    st.handle.Name(),
+		State:   string(state),
+		Created: created.UTC().Format(time.RFC3339Nano),
+		Result:  st.getTable() != nil,
+	}
+	if err != nil {
+		out.Error = err.Error()
+	}
+	if !started.IsZero() {
+		out.Started = started.UTC().Format(time.RFC3339Nano)
+	}
+	if !finished.IsZero() {
+		out.Finished = finished.UTC().Format(time.RFC3339Nano)
+	}
+	return out
+}
+
+func (s *Server) state(id string) (*jobState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.states[id]
+	return st, ok
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	var out []statusJSON
+	for _, h := range s.mgr.Jobs() {
+		if st, ok := s.state(h.ID()); ok {
+			out = append(out, s.status(st))
+		}
+	}
+	if out == nil {
+		out = []statusJSON{}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.state(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status(st))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.state(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	st.handle.Cancel()
+	writeJSON(w, http.StatusOK, s.status(st))
+}
+
+// handleStream replays the job's event log as NDJSON and follows it
+// until the job reaches a terminal state or the client goes away. Each
+// line is flushed immediately — this is the live progress feed.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.state(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	offset := 0
+	for {
+		lines, closed, wake := st.log.next(offset)
+		for _, line := range lines {
+			if _, err := w.Write(append(line, '\n')); err != nil {
+				return
+			}
+		}
+		offset += len(lines)
+		if len(lines) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if closed {
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleResult renders the job's result table through stats.NewSink —
+// the same renderer as the batch CLIs, so the bytes are directly
+// comparable. ?wait=1 blocks until the job finishes; otherwise a job
+// without a table yet answers 409.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.state(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "text"
+	}
+	valid := false
+	for _, f := range stats.SinkFormats() {
+		if f == format {
+			valid = true
+		}
+	}
+	if !valid {
+		writeError(w, http.StatusBadRequest, "unknown format %q (want one of %v)", format, stats.SinkFormats())
+		return
+	}
+	if wait, _ := strconv.ParseBool(r.URL.Query().Get("wait")); wait {
+		if err := st.handle.Wait(r.Context()); err != nil && r.Context().Err() != nil {
+			return // client went away
+		}
+	}
+	state, jerr := st.handle.State()
+	if jerr != nil {
+		writeError(w, http.StatusUnprocessableEntity, "job %s %s: %v", st.id, state, jerr)
+		return
+	}
+	tb := st.getTable()
+	if tb == nil {
+		writeError(w, http.StatusConflict, "job %s is %s; no result yet (use ?wait=1)", st.id, state)
+		return
+	}
+	switch format {
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	}
+	sink, err := stats.NewSink(format, w)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if err := sink.Emit(tb); err == nil {
+		sink.Close()
+	}
+}
+
+func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cache": s.cache.Stats(),
+		"jobs":  s.mgr.Stats(),
+	})
+}

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"encoding/json"
+	"sync"
+
+	"sinrcast/internal/stats"
+)
+
+// event is one NDJSON line of a job's stream. The zero fields of the
+// unused kind are omitted, so each line carries only its own shape:
+//
+//	{"type":"state","job":"j1","state":"running"}
+//	{"type":"cache","job":"j1","hit":true,"key":"uniform:n=64|engine=exact,..."}
+//	{"type":"progress","job":"j1","trial":0,"round":256,"tx":12,"rec":31}
+//	{"type":"table","job":"j1","table":{"title":...,"headers":[...],"rows":[[...]]}}
+type event struct {
+	Type  string       `json:"type"`
+	Job   string       `json:"job,omitempty"`
+	State string       `json:"state,omitempty"`
+	Error string       `json:"error,omitempty"`
+	Hit   *bool        `json:"hit,omitempty"`
+	Key   string       `json:"key,omitempty"`
+	Trial *int         `json:"trial,omitempty"`
+	Round *int         `json:"round,omitempty"`
+	Tx    *int         `json:"tx,omitempty"`
+	Rec   *int         `json:"rec,omitempty"`
+	Table *stats.Table `json:"table,omitempty"`
+}
+
+func intp(v int) *int    { return &v }
+func boolp(v bool) *bool { return &v }
+
+// eventLog is an append-only, multi-reader event buffer: the job
+// runner appends, any number of stream handlers replay from an offset
+// and block for more. Waking is a closed-channel broadcast — every
+// append (and the final close) closes the current wake channel and
+// installs a fresh one, so late subscribers always see history first
+// and never miss a wake.
+type eventLog struct {
+	mu     sync.Mutex
+	lines  [][]byte
+	closed bool
+	wake   chan struct{}
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{wake: make(chan struct{})}
+}
+
+// append marshals and appends one event. Marshal errors cannot happen
+// for the event struct (plain fields only) and are dropped by design.
+func (l *eventLog) append(e event) {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	l.mu.Lock()
+	if !l.closed {
+		l.lines = append(l.lines, b)
+		close(l.wake)
+		l.wake = make(chan struct{})
+	}
+	l.mu.Unlock()
+}
+
+// close marks the stream complete and wakes all readers.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	if !l.closed {
+		l.closed = true
+		close(l.wake)
+	}
+	l.mu.Unlock()
+}
+
+// next returns the lines from offset on, whether the log is complete,
+// and a channel that closes on the next append/close. When it returns
+// no new lines and closed == false, wait on the channel.
+func (l *eventLog) next(offset int) (lines [][]byte, closed bool, wake <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if offset < len(l.lines) {
+		lines = l.lines[offset:]
+	}
+	return lines, l.closed, l.wake
+}

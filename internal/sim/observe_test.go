@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"testing"
+
+	"sinrcast/internal/geom"
+	"sinrcast/internal/sinr"
+)
+
+// TestObserveRoundsCountsAndPassesThrough pins the ObserveRounds
+// contract: fn sees every Resolve/ResolveFor in call order with the
+// transmitter and reception counts, receptions pass through
+// unmodified, and the subset capability is preserved.
+func TestObserveRoundsCountsAndPassesThrough(t *testing.T) {
+	phys, err := sinr.NewEngine(geom.NewEuclidean([]geom.Point{
+		{X: 0, Y: 0}, {X: 0.5, Y: 0}, {X: 1.0, Y: 0},
+	}), sinr.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type seen struct{ round, tx, rec int }
+	var got []seen
+	obs := ObserveRounds(phys, func(round, tx, rec int) {
+		got = append(got, seen{round, tx, rec})
+	})
+	sub, ok := obs.(SubsetResolver)
+	if !ok {
+		t.Fatal("ObserveRounds dropped the SubsetResolver capability")
+	}
+	if obs.N() != 3 {
+		t.Fatalf("N() = %d, want 3", obs.N())
+	}
+
+	r0 := obs.Resolve([]int{0})
+	r1 := sub.ResolveFor([]int{0}, []int{1})
+	r2 := obs.Resolve([]int{0, 2})
+
+	want := []seen{
+		{0, 1, len(r0)},
+		{1, 1, len(r1)},
+		{2, 2, len(r2)},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("observed %d rounds, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("round %d observed as %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// Pass-through: the wrapper must not change physics. Same call on
+	// the bare engine gives identical receptions.
+	fresh := phys.Resolve([]int{0})
+	if len(fresh) != len(r0) {
+		t.Fatalf("wrapper changed resolution: %d vs %d receptions", len(r0), len(fresh))
+	}
+	for i := range fresh {
+		if fresh[i] != r0[i] {
+			t.Fatalf("reception %d differs: %+v vs %+v", i, r0[i], fresh[i])
+		}
+	}
+}
+
+// TestObserveRoundsFullOnly covers a Resolve-only physical layer: the
+// wrapper must not advertise ResolveFor it cannot forward.
+func TestObserveRoundsFullOnly(t *testing.T) {
+	inner, err := sinr.NewEngine(geom.NewEuclidean([]geom.Point{{X: 0, Y: 0}, {X: 0.5, Y: 0}}), sinr.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	obs := ObserveRounds(fullOnlyResolver{inner}, func(round, tx, rec int) { calls++ })
+	if _, ok := obs.(SubsetResolver); ok {
+		t.Fatal("wrapper advertises ResolveFor over a Resolve-only layer")
+	}
+	obs.Resolve([]int{0})
+	if calls != 1 {
+		t.Fatalf("observer called %d times, want 1", calls)
+	}
+}
+
+// TestObserveRoundsPanicUnwinds pins the cancellation idiom the serve
+// layer uses: a panic raised inside fn unwinds through the wrapper to
+// the caller, who recovers its own sentinel.
+func TestObserveRoundsPanicUnwinds(t *testing.T) {
+	phys, err := sinr.NewEngine(geom.NewEuclidean([]geom.Point{{X: 0, Y: 0}, {X: 0.5, Y: 0}}), sinr.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type sentinel struct{}
+	obs := ObserveRounds(phys, func(round, tx, rec int) { panic(sentinel{}) })
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic did not unwind")
+		} else if _, ok := r.(sentinel); !ok {
+			t.Fatalf("recovered %v, want the sentinel", r)
+		}
+	}()
+	obs.Resolve([]int{0})
+}

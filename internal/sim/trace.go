@@ -118,3 +118,47 @@ func (r *recordingSubsetResolver) ResolveFor(tx []int, receivers []int) []sinr.R
 	r.log.record(tx, receivers)
 	return r.sub.ResolveFor(tx, receivers)
 }
+
+// ObserveRounds wraps phys so fn observes every resolved round: it is
+// called after each Resolve/ResolveFor with the 0-based round index
+// (counted per wrapper), the transmitter count, and the reception
+// count. Like RecordRounds, the wrapper preserves the subset-
+// resolution capability. The serve layer streams job progress through
+// it and aborts canceled jobs from inside fn — a panic out of fn
+// unwinds through the wrapper untouched, so a caller can recover its
+// own sentinel above the run.
+func ObserveRounds(phys Resolver, fn func(round, tx, rec int)) Resolver {
+	if sub, ok := phys.(SubsetResolver); ok {
+		return &observedSubsetResolver{observedResolver{inner: phys, fn: fn}, sub}
+	}
+	return &observedResolver{inner: phys, fn: fn}
+}
+
+type observedResolver struct {
+	inner Resolver
+	fn    func(round, tx, rec int)
+	round int
+}
+
+func (o *observedResolver) Resolve(tx []int) []sinr.Reception {
+	rec := o.inner.Resolve(tx)
+	r := o.round
+	o.round++
+	o.fn(r, len(tx), len(rec))
+	return rec
+}
+
+func (o *observedResolver) N() int { return o.inner.N() }
+
+type observedSubsetResolver struct {
+	observedResolver
+	sub SubsetResolver
+}
+
+func (o *observedSubsetResolver) ResolveFor(tx []int, receivers []int) []sinr.Reception {
+	rec := o.sub.ResolveFor(tx, receivers)
+	r := o.round
+	o.round++
+	o.fn(r, len(tx), len(rec))
+	return rec
+}

@@ -1,0 +1,99 @@
+package sinr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Canonical parameter keys. A Params value renders to exactly one
+// string and parses back bit-exactly, so physical configurations can
+// be compared, logged, and used as cache-key components: the serve
+// layer's content-addressed engine cache is keyed by
+// (scenario spec, EngineKey, seed), and the CLIs print the key so a
+// run's physics can be quoted verbatim in a reproduction.
+
+// Key renders the canonical compact form
+// "alpha=A,beta=B,noise=N,eps=E" with each value formatted in the
+// shortest representation that round-trips through strconv.ParseFloat.
+// ParseParamsKey(p.Key()) reproduces p bit-exactly.
+func (p Params) Key() string {
+	var sb strings.Builder
+	sb.WriteString("alpha=")
+	sb.WriteString(formatKeyValue(p.Alpha))
+	sb.WriteString(",beta=")
+	sb.WriteString(formatKeyValue(p.Beta))
+	sb.WriteString(",noise=")
+	sb.WriteString(formatKeyValue(p.Noise))
+	sb.WriteString(",eps=")
+	sb.WriteString(formatKeyValue(p.Eps))
+	return sb.String()
+}
+
+// EngineKey prefixes the canonical parameter key with an engine name:
+// "engine=hier,alpha=A,beta=B,noise=N,eps=E". Together with a scenario
+// spec and a seed it content-addresses a warmed engine: same key, same
+// topology slabs, byte-identical Resolve output.
+func EngineKey(engine string, p Params) string {
+	return "engine=" + engine + "," + p.Key()
+}
+
+func formatKeyValue(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// ParseParamsKey reads the canonical form produced by Params.Key. All
+// four fields must be present exactly once; unknown fields and
+// malformed numbers are rejected. The parse is the exact inverse of
+// Key (float values round-trip bit-exactly), pinned by the round-trip
+// test.
+func ParseParamsKey(s string) (Params, error) {
+	var p Params
+	seen := map[string]bool{}
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(pair, "=")
+		name, val = strings.TrimSpace(name), strings.TrimSpace(val)
+		if !ok || name == "" || val == "" {
+			return Params{}, fmt.Errorf("sinr: malformed params key field %q (want name=value)", pair)
+		}
+		if seen[name] {
+			return Params{}, fmt.Errorf("sinr: params key field %q given twice", name)
+		}
+		seen[name] = true
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return Params{}, fmt.Errorf("sinr: params key field %s=%q is not a number", name, val)
+		}
+		switch name {
+		case "alpha":
+			p.Alpha = v
+		case "beta":
+			p.Beta = v
+		case "noise":
+			p.Noise = v
+		case "eps":
+			p.Eps = v
+		default:
+			return Params{}, fmt.Errorf("sinr: unknown params key field %q (want alpha, beta, noise, eps)", name)
+		}
+	}
+	for _, name := range []string{"alpha", "beta", "noise", "eps"} {
+		if !seen[name] {
+			return Params{}, fmt.Errorf("sinr: params key %q is missing field %q", s, name)
+		}
+	}
+	return p, nil
+}
+
+// ParseEngineKey reads the form produced by EngineKey: the leading
+// "engine=name" field followed by the canonical parameter key.
+func ParseEngineKey(s string) (engine string, p Params, err error) {
+	head, rest, ok := strings.Cut(s, ",")
+	name, val, okHead := strings.Cut(head, "=")
+	if !ok || !okHead || strings.TrimSpace(name) != "engine" || strings.TrimSpace(val) == "" {
+		return "", Params{}, fmt.Errorf("sinr: engine key %q must start with \"engine=name,\"", s)
+	}
+	p, err = ParseParamsKey(rest)
+	if err != nil {
+		return "", Params{}, err
+	}
+	return strings.TrimSpace(val), p, nil
+}

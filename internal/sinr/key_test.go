@@ -1,0 +1,103 @@
+package sinr
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// keyCases covers defaults, non-terminating decimals (1/3 stresses the
+// shortest-round-trip formatting), subnormal-ish extremes, and values
+// with long decimal expansions.
+var keyCases = []Params{
+	DefaultParams(),
+	{Alpha: 2, Beta: 1, Noise: 1e-9, Eps: 0.5},
+	{Alpha: 2.5, Beta: 1.5, Noise: 1, Eps: 1.0 / 3.0},
+	{Alpha: 4, Beta: 2, Noise: 0.1, Eps: 0.9999999999999},
+	{Alpha: math.Pi, Beta: math.E, Noise: math.Sqrt2, Eps: 1.0 / 7.0},
+}
+
+func TestParamsKeyRoundTrip(t *testing.T) {
+	for _, p := range keyCases {
+		key := p.Key()
+		got, err := ParseParamsKey(key)
+		if err != nil {
+			t.Fatalf("ParseParamsKey(%q): %v", key, err)
+		}
+		if got != p {
+			t.Fatalf("round trip of %q: got %+v, want %+v", key, got, p)
+		}
+		// The key is canonical: re-rendering the parse reproduces it.
+		if got.Key() != key {
+			t.Fatalf("re-render of %q gave %q", key, got.Key())
+		}
+	}
+}
+
+func TestParamsKeyIsCanonicalForm(t *testing.T) {
+	key := DefaultParams().Key()
+	want := "alpha=3,beta=1.5,noise=1,eps=" + formatKeyValue(1.0/3.0)
+	if key != want {
+		t.Fatalf("DefaultParams().Key() = %q, want %q", key, want)
+	}
+}
+
+func TestEngineKeyRoundTrip(t *testing.T) {
+	for _, engine := range []string{"exact", "grid", "hier", "auto"} {
+		for _, p := range keyCases {
+			key := EngineKey(engine, p)
+			gotEngine, gotP, err := ParseEngineKey(key)
+			if err != nil {
+				t.Fatalf("ParseEngineKey(%q): %v", key, err)
+			}
+			if gotEngine != engine || gotP != p {
+				t.Fatalf("round trip of %q: got (%q, %+v), want (%q, %+v)",
+					key, gotEngine, gotP, engine, p)
+			}
+		}
+	}
+}
+
+func TestParseParamsKeyRejects(t *testing.T) {
+	bad := []string{
+		"",                                     // empty
+		"alpha=3",                              // missing fields
+		"alpha=3,beta=1.5,noise=1,eps=x",       // not a number
+		"alpha=3,beta=1.5,noise=1,eps=1,eps=2", // duplicate
+		"alpha=3,beta=1.5,noise=1,gamma=2",     // unknown field
+		"alpha=3,beta=1.5,noise=1,eps",         // malformed pair
+	}
+	for _, s := range bad {
+		if _, err := ParseParamsKey(s); err == nil {
+			t.Errorf("ParseParamsKey(%q) accepted malformed input", s)
+		}
+	}
+	for _, s := range []string{"", "alpha=3,beta=1.5,noise=1,eps=0.3", "engine=,alpha=3,beta=1.5,noise=1,eps=0.3"} {
+		if _, _, err := ParseEngineKey(s); err == nil {
+			t.Errorf("ParseEngineKey(%q) accepted malformed input", s)
+		}
+	}
+}
+
+// TestKeyDistinguishesParams pins the content-addressing property the
+// serve cache rests on: distinct physical configurations never collide.
+func TestKeyDistinguishesParams(t *testing.T) {
+	seen := map[string]Params{}
+	for _, p := range keyCases {
+		for _, engine := range []string{"exact", "hier"} {
+			k := EngineKey(engine, p)
+			if prev, dup := seen[k]; dup && prev != p {
+				t.Fatalf("key %q collides: %+v vs %+v", k, prev, p)
+			}
+			seen[k] = p
+		}
+	}
+	if len(seen) != 2*len(keyCases) {
+		t.Fatalf("expected %d distinct keys, got %d", 2*len(keyCases), len(seen))
+	}
+	a := EngineKey("exact", DefaultParams())
+	b := EngineKey("hier", DefaultParams())
+	if a == b || !strings.Contains(a, "engine=exact") {
+		t.Fatalf("engine name not part of the key: %q vs %q", a, b)
+	}
+}

@@ -8,9 +8,39 @@ import (
 // Sink consumes a stream of experiment tables and renders them to an
 // underlying writer as they arrive. Close flushes trailing syntax (the
 // JSON sink's closing bracket); it does not close the writer.
+//
+// Streaming contract: every sink returned by NewSink forwards a flush
+// to its writer after each successful Emit and on Close — when the
+// writer buffers (bufio.Writer, an HTTP response), each table reaches
+// the consumer as soon as it is emitted instead of pooling until the
+// stream ends. Writers advertise the capability by implementing
+// Flusher (or the error-less Flush() of http.Flusher adapters); plain
+// writers are unaffected. The contract is pinned by the flush test in
+// sink_flush_test.go.
 type Sink interface {
 	Emit(*Table) error
 	Close() error
+}
+
+// Flusher is the flush capability a Sink forwards to after each Emit.
+// bufio.Writer satisfies it directly; HTTP handlers wrap
+// http.ResponseWriter so Flush pushes bytes to the client.
+type Flusher interface {
+	Flush() error
+}
+
+// flush pushes buffered bytes through w when it can: the error-
+// returning Flusher form first, then the error-less form used by
+// http.Flusher adapters. Writers without either are already
+// unbuffered from the sink's point of view.
+func flush(w io.Writer) error {
+	switch f := w.(type) {
+	case Flusher:
+		return f.Flush()
+	case interface{ Flush() }:
+		f.Flush()
+	}
+	return nil
 }
 
 // NewSink returns the sink for a format name: "text" (or "") renders
@@ -30,16 +60,22 @@ func NewSink(format string, w io.Writer) (Sink, error) {
 	}
 }
 
+// SinkFormats lists the formats NewSink accepts, for CLIs and services
+// that validate a format parameter up front.
+func SinkFormats() []string { return []string{"text", "csv", "json"} }
+
 // textSink reproduces the historical fmt.Println(t.String()) output
 // byte for byte: the aligned table, then one separating blank line.
 type textSink struct{ w io.Writer }
 
 func (s *textSink) Emit(t *Table) error {
-	_, err := io.WriteString(s.w, t.String()+"\n")
-	return err
+	if _, err := io.WriteString(s.w, t.String()+"\n"); err != nil {
+		return err
+	}
+	return flush(s.w)
 }
 
-func (s *textSink) Close() error { return nil }
+func (s *textSink) Close() error { return flush(s.w) }
 
 type csvSink struct {
 	w     io.Writer
@@ -54,10 +90,13 @@ func (s *csvSink) Emit(t *Table) error {
 		}
 	}
 	s.wrote = true
-	return t.WriteCSV(s.w)
+	if err := t.WriteCSV(s.w); err != nil {
+		return err
+	}
+	return flush(s.w)
 }
 
-func (s *csvSink) Close() error { return nil }
+func (s *csvSink) Close() error { return flush(s.w) }
 
 type jsonSink struct {
 	w     io.Writer
@@ -73,7 +112,10 @@ func (s *jsonSink) Emit(t *Table) error {
 	if _, err := io.WriteString(s.w, sep); err != nil {
 		return err
 	}
-	return t.WriteJSON(s.w)
+	if err := t.WriteJSON(s.w); err != nil {
+		return err
+	}
+	return flush(s.w)
 }
 
 func (s *jsonSink) Close() error {
@@ -81,6 +123,8 @@ func (s *jsonSink) Close() error {
 	if !s.wrote {
 		out = "[]\n"
 	}
-	_, err := io.WriteString(s.w, out)
-	return err
+	if _, err := io.WriteString(s.w, out); err != nil {
+		return err
+	}
+	return flush(s.w)
 }

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// flushCounter records how many times Flush was called and what had
+// been written by then — the observable a streaming HTTP client cares
+// about: bytes must be pushed per table, not pooled until Close.
+type flushCounter struct {
+	buf     bytes.Buffer
+	flushes int
+	flushed []string // buffer contents at each flush
+}
+
+func (f *flushCounter) Write(p []byte) (int, error) { return f.buf.Write(p) }
+
+func (f *flushCounter) Flush() error {
+	f.flushes++
+	f.flushed = append(f.flushed, f.buf.String())
+	return nil
+}
+
+// errlessFlusher is the http.Flusher shape: Flush without an error.
+type errlessFlusher struct {
+	bytes.Buffer
+	flushes int
+}
+
+func (f *errlessFlusher) Flush() { f.flushes++ }
+
+func flushTable(i int) *Table {
+	t := NewTable("t", "a", "b")
+	t.AddRow(i, i*2)
+	return t
+}
+
+// TestSinkFlushPerEmit is the Flusher contract test: every format must
+// flush its writer at least once per Emit, with the emitted table's
+// bytes already written, and flush trailing syntax on Close.
+func TestSinkFlushPerEmit(t *testing.T) {
+	for _, format := range SinkFormats() {
+		t.Run(format, func(t *testing.T) {
+			w := &flushCounter{}
+			s, err := NewSink(format, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 3; i++ {
+				before := w.flushes
+				if err := s.Emit(flushTable(i)); err != nil {
+					t.Fatalf("Emit %d: %v", i, err)
+				}
+				if w.flushes <= before {
+					t.Fatalf("Emit %d did not flush (%d flushes before, %d after)", i, before, w.flushes)
+				}
+				// The emitted table must be visible at flush time, not
+				// only after Close: its last row is in the flushed bytes.
+				last := w.flushed[len(w.flushed)-1]
+				if !strings.Contains(last, flushTable(i).Rows[0][0]) {
+					t.Fatalf("Emit %d flushed before writing the table; flushed so far: %q", i, last)
+				}
+			}
+			closeBefore := w.flushes
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if w.flushes <= closeBefore {
+				t.Fatalf("Close did not flush trailing syntax")
+			}
+		})
+	}
+}
+
+// TestSinkFlushErrlessWriter covers the http.Flusher shape (Flush
+// without an error return): it must be invoked too.
+func TestSinkFlushErrlessWriter(t *testing.T) {
+	for _, format := range SinkFormats() {
+		w := &errlessFlusher{}
+		s, err := NewSink(format, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Emit(flushTable(0)); err != nil {
+			t.Fatal(err)
+		}
+		if w.flushes == 0 {
+			t.Fatalf("%s: error-less Flush() not called on Emit", format)
+		}
+	}
+}
+
+// failingFlusher fails every Flush; the sink must surface the error.
+type failingFlusher struct{ bytes.Buffer }
+
+var errFlush = errors.New("flush failed")
+
+func (f *failingFlusher) Flush() error { return errFlush }
+
+func TestSinkFlushErrorSurfaces(t *testing.T) {
+	for _, format := range SinkFormats() {
+		s, err := NewSink(format, &failingFlusher{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Emit(flushTable(0)); !errors.Is(err, errFlush) {
+			t.Fatalf("%s: Emit error = %v, want %v", format, err, errFlush)
+		}
+	}
+}
+
+// TestSinkPlainWriterUnchanged pins that writers without a Flush
+// method keep working and keep their historical bytes.
+func TestSinkPlainWriterUnchanged(t *testing.T) {
+	var buf bytes.Buffer
+	s, err := NewSink("text", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := flushTable(1)
+	if err := s.Emit(tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.String(), tb.String()+"\n"; got != want {
+		t.Fatalf("text sink output changed: got %q want %q", got, want)
+	}
+}
