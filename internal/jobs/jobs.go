@@ -358,7 +358,10 @@ func (m *Manager) worker() {
 	defer m.wg.Done()
 	for h := range m.queue {
 		if !h.tryStart() {
-			continue // cancelled (or failed by shutdown) while queued
+			// Cancelled (or failed by shutdown) while queued: already
+			// terminal, so count it completed just like the drain path.
+			m.completed.Add(1)
+			continue
 		}
 		m.running.Add(1)
 		err := m.invoke(h)

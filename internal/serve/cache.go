@@ -116,10 +116,14 @@ func (c *Cache) Get(key string,
 			if f.err != nil {
 				return nil, nil, false, f.err
 			}
-			// The leader built it; loop back through the hit path (the
-			// entry may already have been evicted under pressure — then
-			// we become a fresh miss, which is correct).
+			// The leader built it; waiters are hits (only the leader
+			// counted the miss). If the entry is gone (nil — the flight
+			// failed to cache), loop back around: it may already have
+			// been evicted under pressure, making us a fresh miss.
 			if f.ent != nil {
+				c.mu.Lock()
+				c.hits++
+				c.mu.Unlock()
 				return c.handout(f.ent, buildEngine, true)
 			}
 			continue

@@ -162,7 +162,13 @@ func (s *Server) submit(req *JobRequest) (*jobState, error) {
 		return nil, &badRequestError{err}
 	}
 	st := &jobState{req: req, log: newEventLog()}
+	// st.id and st.handle are assigned only after Submit returns, but a
+	// worker may pick the job up immediately; ready gates the closure so
+	// it never observes them half-initialized (and so the "queued" event
+	// always precedes "running" in the log).
+	ready := make(chan struct{})
 	run := func(ctx context.Context, engineWorkers int) error {
+		<-ready
 		if s.runHook != nil {
 			s.runHook(st.id)
 		}
@@ -186,6 +192,7 @@ func (s *Server) submit(req *JobRequest) (*jobState, error) {
 	s.pruneLocked()
 	s.mu.Unlock()
 	st.log.append(event{Type: "state", Job: st.id, State: string(jobs.StateQueued)})
+	close(ready)
 	// Close the event stream with the terminal state once the job
 	// finishes, whatever path it took.
 	go func() {
@@ -353,7 +360,12 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	for {
 		lines, closed, wake := st.log.next(offset)
 		for _, line := range lines {
-			if _, err := w.Write(append(line, '\n')); err != nil {
+			// line is shared by every stream of this job; appending the
+			// newline in place would race on the slice's spare capacity.
+			if _, err := w.Write(line); err != nil {
+				return
+			}
+			if _, err := w.Write([]byte{'\n'}); err != nil {
 				return
 			}
 		}
