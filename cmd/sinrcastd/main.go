@@ -11,6 +11,15 @@
 //	sinrcastd -addr 127.0.0.1:9000     # explicit listen address
 //	sinrcastd -jobs 4 -queue 128       # 4 concurrent jobs, 128 queued
 //	sinrcastd -cache-mb 512            # warm-engine cache budget (0 disables)
+//	sinrcastd -journal jobs.ndjson     # crash-safe write-ahead journal
+//
+// With -journal, every accepted job spec, completed trial, and
+// terminal state is logged to an append-only NDJSON file; a restarted
+// daemon replays it, rewarming the -rewarm hottest cache keys and
+// re-queuing jobs that were in-flight at the crash under their
+// original ids, resumed at their completed-trial high-water marks.
+// GET /readyz answers 503 while replay runs (and again during drain);
+// GET /healthz stays 200 and reports journal degradation.
 //
 // SIGINT/SIGTERM drain gracefully: in-flight jobs finish (up to
 // -drain), queued jobs fail cleanly, then the process exits 0.
@@ -42,6 +51,8 @@ func main() {
 		cacheMB = flag.Int("cache-mb", 256, "warm-engine cache budget in MiB (0 disables)")
 		every   = flag.Int("progress-every", 256, "default progress-event cadence in rounds (-1 disables)")
 		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget for in-flight jobs")
+		journal = flag.String("journal", "", "write-ahead journal path; enables crash-safe restart (empty disables)")
+		rewarm  = flag.Int("rewarm", 8, "cache keys rebuilt from the journal on restart (-1 disables)")
 	)
 	flag.Parse()
 
@@ -49,11 +60,17 @@ func main() {
 	if *cacheMB <= 0 {
 		cacheBytes = -1
 	}
-	srv := serve.New(serve.Config{
+	srv, err := serve.Open(serve.Config{
 		Jobs:          jobs.Config{QueueDepth: *queue, Workers: *njobs, EngineWorkers: *engineWorkers},
 		CacheBytes:    cacheBytes,
 		ProgressEvery: *every,
+		JournalPath:   *journal,
+		RewarmHot:     *rewarm,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sinrcastd: %v\n", err)
+		os.Exit(1)
+	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)

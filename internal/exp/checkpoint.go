@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+)
+
+// TrialCheckpoint persists completed per-trial results so an
+// interrupted multi-trial experiment can resume at its high-water mark
+// instead of starting over. The suite stays deterministic either way:
+// a trial's seed is a pure function of (Config.Seed, expID, point,
+// trial), so a resumed run recomputes exactly the trials the
+// checkpoint is missing and the assembled table is byte-identical to
+// an uninterrupted run.
+//
+// Implementations must be safe for concurrent Store calls (trials run
+// on Config.Workers goroutines); Load is only called before a trial
+// starts. sinrcastd backs this with its write-ahead journal.
+type TrialCheckpoint interface {
+	// Load returns the stored encoding of (expID, point, trial), or
+	// ok=false when the trial has not been checkpointed.
+	Load(expID, point uint64, trial int) (data []byte, ok bool)
+	// Store records the encoding of one completed trial.
+	Store(expID, point uint64, trial int, data []byte)
+}
+
+// encodeTrial gob-encodes one trial result and verifies the encoding
+// is faithful by decoding it back and deep-comparing. Types gob cannot
+// round-trip — unexported fields are silently dropped, zero-length
+// collections lose nil-ness — return ok=false and are simply not
+// checkpointed: the resumed run recomputes them, trading resume speed
+// for byte-identity, never the reverse.
+func encodeTrial[T any](v T) (data []byte, ok bool) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
+		return nil, false
+	}
+	var back T
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&back); err != nil {
+		return nil, false
+	}
+	if !reflect.DeepEqual(v, back) {
+		return nil, false
+	}
+	return buf.Bytes(), true
+}
+
+// decodeTrial decodes a checkpointed trial result. A decode failure
+// (schema drift between daemon versions, a corrupt record) reports
+// ok=false and the trial is recomputed.
+func decodeTrial[T any](data []byte) (v T, ok bool) {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&v); err != nil {
+		var zero T
+		return zero, false
+	}
+	return v, true
+}
+
+// runOneTrial executes (or restores) trial tr of data point
+// (expID, point): a checkpointed result that decodes cleanly is
+// returned as-is; otherwise fn runs with the trial's derived seed and
+// a faithful encoding of its result is stored.
+func runOneTrial[T any](cfg Config, expID, point uint64, tr int, fn func(seed uint64) (T, error)) (T, error) {
+	cp := cfg.Checkpoint
+	if cp != nil {
+		if data, ok := cp.Load(expID, point, tr); ok {
+			if v, ok := decodeTrial[T](data); ok {
+				return v, nil
+			}
+		}
+	}
+	v, err := fn(cfg.trialSeed(expID, point, tr))
+	if err == nil && cp != nil {
+		if data, ok := encodeTrial(v); ok {
+			cp.Store(expID, point, tr, data)
+		}
+	}
+	return v, err
+}

@@ -1,0 +1,178 @@
+package exp
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"sinrcast/internal/broadcast"
+	"sinrcast/internal/stats"
+)
+
+// memCheckpoint is an in-memory TrialCheckpoint for tests.
+type memCheckpoint struct {
+	mu     sync.Mutex
+	data   map[[3]uint64][]byte
+	loads  int
+	stores int
+	hits   int
+}
+
+func newMemCheckpoint() *memCheckpoint {
+	return &memCheckpoint{data: make(map[[3]uint64][]byte)}
+}
+
+func (m *memCheckpoint) key(expID, point uint64, trial int) [3]uint64 {
+	return [3]uint64{expID, point, uint64(trial)}
+}
+
+func (m *memCheckpoint) Load(expID, point uint64, trial int) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.loads++
+	d, ok := m.data[m.key(expID, point, trial)]
+	if ok {
+		m.hits++
+	}
+	return d, ok
+}
+
+func (m *memCheckpoint) Store(expID, point uint64, trial int, data []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stores++
+	m.data[m.key(expID, point, trial)] = data
+}
+
+func renderTable(t *testing.T, tb *stats.Table) string {
+	t.Helper()
+	var buf bytes.Buffer
+	sink, err := stats.NewSink("csv", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Emit(tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestCheckpointResumeByteIdentical is the exp-level resume contract:
+// a run restored from a partially-populated checkpoint renders the
+// same bytes as an uninterrupted run, and the checkpointed trials are
+// not recomputed.
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	base := Config{Seed: 5, Trials: 4, Scale: 0.1, Workers: 1, Scenario: "uniform:n=24", Protocol: "decay"}
+
+	plain, err := E13ProtocolMatrix(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderTable(t, plain)
+
+	// First pass fills the checkpoint; its table must already match
+	// (storing must not perturb results).
+	cp := newMemCheckpoint()
+	withCP := base
+	withCP.Checkpoint = cp
+	first, err := E13ProtocolMatrix(withCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderTable(t, first); got != want {
+		t.Fatalf("checkpointed run differs from plain run:\ngot:  %q\nwant: %q", got, want)
+	}
+	if cp.stores == 0 {
+		t.Fatal("no trials were checkpointed")
+	}
+
+	// Drop every second entry — the crash left a partial checkpoint —
+	// and rerun: restored trials load, dropped ones recompute, bytes
+	// must not move.
+	i := 0
+	for k := range cp.data {
+		if i%2 == 0 {
+			delete(cp.data, k)
+		}
+		i++
+	}
+	kept := len(cp.data)
+	cp.loads, cp.hits, cp.stores = 0, 0, 0
+	resumed, err := E13ProtocolMatrix(withCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderTable(t, resumed); got != want {
+		t.Fatalf("resumed run differs from plain run:\ngot:  %q\nwant: %q", got, want)
+	}
+	if cp.hits != kept {
+		t.Fatalf("restored %d trials, want %d (the kept checkpoint entries)", cp.hits, kept)
+	}
+	if cp.stores == 0 {
+		t.Fatal("recomputed trials were not re-checkpointed")
+	}
+}
+
+// TestCheckpointParallelWorkersIdentical pins that checkpointing under
+// concurrent trials neither races nor changes bytes.
+func TestCheckpointParallelWorkersIdentical(t *testing.T) {
+	base := Config{Seed: 7, Trials: 6, Scale: 0.1, Workers: 1, Scenario: "uniform:n=24", Protocol: "decay"}
+	plain, err := E13ProtocolMatrix(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderTable(t, plain)
+
+	par := base
+	par.Workers = 4
+	par.Checkpoint = newMemCheckpoint()
+	got, err := E13ProtocolMatrix(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := renderTable(t, got); g != want {
+		t.Fatalf("parallel checkpointed run differs:\ngot:  %q\nwant: %q", g, want)
+	}
+}
+
+// TestEncodeTrialRoundTripGuard pins the fidelity guard: exported
+// result types round-trip and are checkpointed; types gob silently
+// truncates (unexported fields) are rejected so they will always be
+// recomputed rather than resumed wrong.
+func TestEncodeTrialRoundTripGuard(t *testing.T) {
+	res := &broadcast.Result{Rounds: 12, AllInformed: true, InformTime: []int{0, 3, 5}, Phases: 2}
+	data, ok := encodeTrial(res)
+	if !ok {
+		t.Fatal("*broadcast.Result should round-trip")
+	}
+	back, ok := decodeTrial[*broadcast.Result](data)
+	if !ok {
+		t.Fatal("decode failed")
+	}
+	if back.Rounds != 12 || !back.AllInformed || len(back.InformTime) != 3 || back.Phases != 2 {
+		t.Fatalf("decoded result mangled: %+v", back)
+	}
+
+	if _, ok := encodeTrial(true); !ok {
+		t.Fatal("bool trials should round-trip")
+	}
+	if _, ok := encodeTrial(3.25); !ok {
+		t.Fatal("float64 trials should round-trip")
+	}
+
+	// E10's invariants and E14's scalingRun carry only unexported
+	// fields; gob silently drops those, so the guard must refuse to
+	// checkpoint such shapes (they are recomputed on resume).
+	type invariants struct{ l1, l2 float64 }
+	if _, ok := encodeTrial(invariants{l1: 0.5, l2: 0.25}); ok {
+		t.Fatal("unexported-field struct must fail the round-trip guard")
+	}
+
+	// A corrupt record recomputes instead of failing.
+	if _, ok := decodeTrial[*broadcast.Result]([]byte("garbage")); ok {
+		t.Fatal("garbage decoded")
+	}
+}

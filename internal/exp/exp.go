@@ -53,6 +53,10 @@ type Config struct {
 	// byte-identical to the historical output and must not drift with
 	// an engine flag.
 	Engine string
+	// Checkpoint, when non-nil, persists completed trial results and
+	// restores them on a rerun — sinrcastd's crash-resume path. Tables
+	// stay byte-identical with or without it (see TrialCheckpoint).
+	Checkpoint TrialCheckpoint
 }
 
 // DefaultConfig returns the full-size configuration.

@@ -53,7 +53,7 @@ func runNTrials[T any](cfg Config, n int, expID, point uint64, fn func(seed uint
 	}
 	if w <= 1 {
 		for tr := 0; tr < n; tr++ {
-			out[tr], errs[tr] = fn(cfg.trialSeed(expID, point, tr))
+			out[tr], errs[tr] = runOneTrial(cfg, expID, point, tr, fn)
 		}
 	} else {
 		var next atomic.Int64
@@ -67,7 +67,7 @@ func runNTrials[T any](cfg Config, n int, expID, point uint64, fn func(seed uint
 					if tr >= n {
 						return
 					}
-					out[tr], errs[tr] = fn(cfg.trialSeed(expID, point, tr))
+					out[tr], errs[tr] = runOneTrial(cfg, expID, point, tr, fn)
 				}
 			}()
 		}

@@ -1,0 +1,195 @@
+// Package faultinject is a deterministic fault-injection registry for
+// robustness testing of the service layer. Production code calls Fire
+// at named points (cache build, engine clone, journal append/fsync,
+// sink flush, worker stall); tests arm a point with a seeded failure
+// schedule and the hook starts returning errors (or stalling) on a
+// reproducible subset of calls. Unarmed — the only state a production
+// process ever runs in — Fire is a single atomic pointer load: no
+// allocation, no branch on configuration, no lock
+// (TestUnarmedFireZeroAlloc pins the 0-alloc contract).
+//
+// Determinism: whether the k-th call at a point fails is a pure
+// function of (schedule seed, point name, k). Concurrency may reorder
+// which goroutine draws which k, but the multiset of injected failures
+// per point is fixed, so chaos tests can assert invariants ("no
+// accepted job is lost", "retries are byte-identical") under a known
+// failure density and reproduce a run from its seeds.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sinrcast/internal/rng"
+)
+
+// The named injection points wired into the service layer. A point
+// name is just a string — packages may define their own — but the
+// chaos suite arms exactly these.
+const (
+	// CacheBuild fails a warm-engine cache miss's build (serve.Cache).
+	CacheBuild = "cache.build"
+	// EngineClone fails the clone handout of a cached engine; the
+	// cache degrades to a fresh build, never to a shared engine.
+	EngineClone = "engine.clone"
+	// JournalAppend fails appending a record to the job journal.
+	JournalAppend = "journal.append"
+	// JournalSync fails the journal's batched fsync.
+	JournalSync = "journal.sync"
+	// SinkFlush fails result-table writes/flushes to the client.
+	SinkFlush = "sink.flush"
+	// WorkerStall delays a job worker between dequeue and run.
+	WorkerStall = "worker.stall"
+)
+
+// ErrInjected is the sentinel wrapped by every injected failure.
+var ErrInjected = errors.New("faultinject: injected failure")
+
+// Fault is one point's seeded failure schedule. Any combination of
+// triggers may be set; a call fires when any of them matches.
+type Fault struct {
+	// Prob injects on each call independently with this probability,
+	// decided by a deterministic draw from (Seed, point, call index).
+	Prob float64
+	// Seed drives the Prob draws.
+	Seed uint64
+	// Every injects on every Every-th call (1-based call indices).
+	Every int
+	// First injects on calls 1..First.
+	First int
+	// Stall, when set, makes a firing call sleep this long and return
+	// nil instead of failing — the slow-worker schedule.
+	Stall time.Duration
+}
+
+type pointState struct {
+	fault Fault
+	hash  uint64
+	calls atomic.Int64
+	fired atomic.Int64
+}
+
+type registry struct {
+	points map[string]*pointState
+}
+
+var (
+	reg atomic.Pointer[registry]
+	mu  sync.Mutex // serializes Arm/Disarm; Fire never takes it
+)
+
+func pointHash(point string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(point))
+	return h.Sum64()
+}
+
+// Arm installs (or replaces) the failure schedule of one point. Call
+// counters restart from zero.
+func Arm(point string, f Fault) {
+	mu.Lock()
+	defer mu.Unlock()
+	next := &registry{points: make(map[string]*pointState)}
+	if cur := reg.Load(); cur != nil {
+		for name, st := range cur.points {
+			next.points[name] = st
+		}
+	}
+	next.points[point] = &pointState{fault: f, hash: pointHash(point)}
+	reg.Store(next)
+}
+
+// Disarm removes one point's schedule.
+func Disarm(point string) {
+	mu.Lock()
+	defer mu.Unlock()
+	cur := reg.Load()
+	if cur == nil {
+		return
+	}
+	if _, ok := cur.points[point]; !ok {
+		return
+	}
+	if len(cur.points) == 1 {
+		reg.Store(nil)
+		return
+	}
+	next := &registry{points: make(map[string]*pointState)}
+	for name, st := range cur.points {
+		if name != point {
+			next.points[name] = st
+		}
+	}
+	reg.Store(next)
+}
+
+// DisarmAll removes every schedule, restoring the zero-cost path.
+func DisarmAll() {
+	mu.Lock()
+	defer mu.Unlock()
+	reg.Store(nil)
+}
+
+// Armed reports whether the point currently has a schedule.
+func Armed(point string) bool {
+	r := reg.Load()
+	return r != nil && r.points[point] != nil
+}
+
+// Calls returns how many times the point fired its hook since it was
+// armed (0 when unarmed).
+func Calls(point string) int64 {
+	if r := reg.Load(); r != nil {
+		if st := r.points[point]; st != nil {
+			return st.calls.Load()
+		}
+	}
+	return 0
+}
+
+// Fired returns how many calls actually injected (failed or stalled).
+func Fired(point string) int64 {
+	if r := reg.Load(); r != nil {
+		if st := r.points[point]; st != nil {
+			return st.fired.Load()
+		}
+	}
+	return 0
+}
+
+// Fire is the hook production code places at an injection point. It
+// returns nil when the point is unarmed or the schedule passes this
+// call, an ErrInjected-wrapped error when the schedule fails it, and
+// sleeps (returning nil) when the schedule stalls it.
+func Fire(point string) error {
+	r := reg.Load()
+	if r == nil {
+		return nil
+	}
+	st := r.points[point]
+	if st == nil {
+		return nil
+	}
+	n := st.calls.Add(1)
+	f := &st.fault
+	hit := (f.First > 0 && n <= int64(f.First)) ||
+		(f.Every > 0 && n%int64(f.Every) == 0)
+	if !hit && f.Prob > 0 {
+		// One deterministic uniform draw in [0,1) per (seed, point, call).
+		draw := float64(rng.Derive(f.Seed, st.hash, uint64(n))>>11) / (1 << 53)
+		hit = draw < f.Prob
+	}
+	if !hit {
+		return nil
+	}
+	st.fired.Add(1)
+	if f.Stall > 0 {
+		time.Sleep(f.Stall)
+		return nil
+	}
+	return fmt.Errorf("%w at %s (call %d)", ErrInjected, point, n)
+}

@@ -1,0 +1,125 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestUnarmedFireZeroAlloc is the production-cost contract (run by
+// name in CI): an unarmed hook — and a hook at a point other than the
+// armed one — must not allocate on the steady-state path.
+func TestUnarmedFireZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counting is unreliable under the race detector")
+	}
+	DisarmAll()
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if err := Fire(CacheBuild); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("unarmed Fire: %v allocs/op, want 0", allocs)
+	}
+	Arm(JournalSync, Fault{Every: 1})
+	defer DisarmAll()
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if err := Fire(CacheBuild); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("Fire at an unarmed point with another point armed: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestDeterministicSchedule pins that the injected subset is a pure
+// function of (seed, point, call index): two runs of the same armed
+// schedule fail the exact same calls.
+func TestDeterministicSchedule(t *testing.T) {
+	defer DisarmAll()
+	run := func() []int {
+		Arm(CacheBuild, Fault{Prob: 0.3, Seed: 42})
+		var failed []int
+		for i := 1; i <= 200; i++ {
+			if err := Fire(CacheBuild); err != nil {
+				failed = append(failed, i)
+			}
+		}
+		return failed
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) == 200 {
+		t.Fatalf("prob=0.3 fired %d/200 times — schedule degenerate", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("runs differ: %d vs %d failures", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("failure %d at call %d vs %d", i, a[i], b[i])
+		}
+	}
+	// Density sanity: 0.3 ± a wide tolerance over 200 draws.
+	if len(a) < 30 || len(a) > 90 {
+		t.Fatalf("prob=0.3 fired %d/200 times, want roughly 60", len(a))
+	}
+}
+
+func TestEveryAndFirstTriggers(t *testing.T) {
+	defer DisarmAll()
+	Arm(EngineClone, Fault{Every: 3})
+	for i := 1; i <= 9; i++ {
+		err := Fire(EngineClone)
+		if (i%3 == 0) != (err != nil) {
+			t.Fatalf("every=3: call %d err=%v", i, err)
+		}
+		if err != nil && !errors.Is(err, ErrInjected) {
+			t.Fatalf("injected error does not wrap ErrInjected: %v", err)
+		}
+	}
+	Arm(EngineClone, Fault{First: 2})
+	for i := 1; i <= 4; i++ {
+		err := Fire(EngineClone)
+		if (i <= 2) != (err != nil) {
+			t.Fatalf("first=2: call %d err=%v", i, err)
+		}
+	}
+	if got := Calls(EngineClone); got != 4 {
+		t.Fatalf("Calls = %d, want 4 (re-arming resets counters)", got)
+	}
+	if got := Fired(EngineClone); got != 2 {
+		t.Fatalf("Fired = %d, want 2", got)
+	}
+}
+
+func TestStallSleepsInsteadOfFailing(t *testing.T) {
+	defer DisarmAll()
+	Arm(WorkerStall, Fault{First: 1, Stall: 20 * time.Millisecond})
+	start := time.Now()
+	if err := Fire(WorkerStall); err != nil {
+		t.Fatalf("stall schedule returned an error: %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("stall slept only %v", d)
+	}
+	if err := Fire(WorkerStall); err != nil {
+		t.Fatalf("past the schedule: %v", err)
+	}
+}
+
+func TestDisarm(t *testing.T) {
+	DisarmAll()
+	Arm(CacheBuild, Fault{Every: 1})
+	Arm(SinkFlush, Fault{Every: 1})
+	Disarm(CacheBuild)
+	if Armed(CacheBuild) {
+		t.Fatal("CacheBuild still armed after Disarm")
+	}
+	if !Armed(SinkFlush) {
+		t.Fatal("Disarm removed an unrelated point")
+	}
+	Disarm(SinkFlush)
+	if Armed(SinkFlush) || Fire(SinkFlush) != nil {
+		t.Fatal("SinkFlush still armed after removing the last point")
+	}
+}

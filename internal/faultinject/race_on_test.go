@@ -1,0 +1,5 @@
+//go:build race
+
+package faultinject
+
+const raceEnabled = true

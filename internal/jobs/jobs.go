@@ -20,10 +20,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"sinrcast/internal/faultinject"
 )
 
 var (
@@ -210,13 +215,18 @@ func (h *Handle) finishLocked(s State, err error) {
 	close(h.done)
 }
 
-// Stats is a point-in-time counter snapshot.
+// Stats is a point-in-time counter snapshot. Queued/Depth and
+// DrainPerSec are the load gauges behind the transport's dynamic
+// Retry-After: depth says how much headroom the queue has, the drain
+// rate how fast slots free up.
 type Stats struct {
-	Queued    int   `json:"queued"`
-	Running   int   `json:"running"`
-	Submitted int64 `json:"submitted"`
-	Rejected  int64 `json:"rejected"`
-	Completed int64 `json:"completed"`
+	Queued      int     `json:"queued"`
+	Depth       int     `json:"depth"`
+	Running     int     `json:"running"`
+	Submitted   int64   `json:"submitted"`
+	Rejected    int64   `json:"rejected"`
+	Completed   int64   `json:"completed"`
+	DrainPerSec float64 `json:"drain_per_sec"`
 }
 
 // Manager runs jobs from a bounded queue on a fixed worker pool.
@@ -235,7 +245,20 @@ type Manager struct {
 	submitted atomic.Int64
 	rejected  atomic.Int64
 	completed atomic.Int64
+
+	// drainMu guards the completion-time ring feeding DrainRate.
+	drainMu   sync.Mutex
+	drainRing [drainSamples]time.Time
+	drainLen  int
+	drainPos  int
 }
+
+// drainSamples bounds the completion-time window of the drain-rate
+// estimate; drainWindow bounds its age.
+const (
+	drainSamples = 32
+	drainWindow  = 30 * time.Second
+)
 
 // maxRetained bounds how many finished jobs stay queryable; older ones
 // are pruned oldest-first so a long-running daemon does not grow
@@ -265,16 +288,43 @@ func (m *Manager) Config() Config { return m.cfg }
 // queue is at capacity and ErrShutdown after Shutdown began; both are
 // immediate — Submit never blocks on the queue.
 func (m *Manager) Submit(name string, run RunFunc) (*Handle, error) {
+	return m.admit("", name, run)
+}
+
+// Resubmit admits a job under a caller-supplied id — the journal
+// replay path, where a restarted daemon re-queues work that was
+// in-flight at the crash and clients must find it under its original
+// id. The id counter advances past the replayed id so fresh Submit
+// ids never collide; an id already live in the manager is an error.
+func (m *Manager) Resubmit(id, name string, run RunFunc) (*Handle, error) {
+	if id == "" {
+		return nil, fmt.Errorf("jobs: Resubmit needs an id")
+	}
+	return m.admit(id, name, run)
+}
+
+func (m *Manager) admit(id, name string, run RunFunc) (*Handle, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.shutdown {
 		m.rejected.Add(1)
 		return nil, ErrShutdown
 	}
-	m.nextID++
+	assigned := id == ""
+	if assigned {
+		m.nextID++
+		id = fmt.Sprintf("j%d", m.nextID)
+	} else {
+		if _, exists := m.jobs[id]; exists {
+			return nil, fmt.Errorf("jobs: id %s already exists", id)
+		}
+		if n, err := strconv.ParseInt(strings.TrimPrefix(id, "j"), 10, 64); err == nil && n > m.nextID {
+			m.nextID = n
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	h := &Handle{
-		id:      fmt.Sprintf("j%d", m.nextID),
+		id:      id,
 		name:    name,
 		run:     run,
 		ctx:     ctx,
@@ -286,7 +336,9 @@ func (m *Manager) Submit(name string, run RunFunc) (*Handle, error) {
 	select {
 	case m.queue <- h:
 	default:
-		m.nextID--
+		if assigned {
+			m.nextID--
+		}
 		m.rejected.Add(1)
 		cancel()
 		return nil, ErrQueueFull
@@ -346,12 +398,78 @@ func (m *Manager) Cancel(id string) bool {
 // Stats snapshots the counters.
 func (m *Manager) Stats() Stats {
 	return Stats{
-		Queued:    len(m.queue),
-		Running:   int(m.running.Load()),
-		Submitted: m.submitted.Load(),
-		Rejected:  m.rejected.Load(),
-		Completed: m.completed.Load(),
+		Queued:      len(m.queue),
+		Depth:       cap(m.queue),
+		Running:     int(m.running.Load()),
+		Submitted:   m.submitted.Load(),
+		Rejected:    m.rejected.Load(),
+		Completed:   m.completed.Load(),
+		DrainPerSec: m.DrainRate(),
 	}
+}
+
+// completeOne counts a job that reached a terminal state and feeds the
+// drain-rate window.
+func (m *Manager) completeOne() {
+	m.completed.Add(1)
+	now := time.Now()
+	m.drainMu.Lock()
+	m.drainRing[m.drainPos] = now
+	m.drainPos = (m.drainPos + 1) % drainSamples
+	if m.drainLen < drainSamples {
+		m.drainLen++
+	}
+	m.drainMu.Unlock()
+}
+
+// DrainRate estimates how fast the manager currently retires jobs, in
+// completions per second, from the last drainSamples completion
+// instants no older than drainWindow. It returns 0 before two
+// completions land in the window — callers fall back to a fixed
+// Retry-After.
+func (m *Manager) DrainRate() float64 {
+	now := time.Now()
+	m.drainMu.Lock()
+	defer m.drainMu.Unlock()
+	var oldest time.Time
+	count := 0
+	for i := 0; i < m.drainLen; i++ {
+		ts := m.drainRing[i]
+		if now.Sub(ts) > drainWindow {
+			continue
+		}
+		if count == 0 || ts.Before(oldest) {
+			oldest = ts
+		}
+		count++
+	}
+	if count < 2 {
+		return 0
+	}
+	span := now.Sub(oldest).Seconds()
+	if span <= 0 {
+		span = 1e-3
+	}
+	return float64(count) / span
+}
+
+// RetryAfter translates the current queue depth and drain rate into a
+// backpressure hint: roughly how long until a queue slot frees, in
+// whole seconds, clamped to [1, 60]. With no drain observed yet it
+// answers a conservative 2.
+func (m *Manager) RetryAfter() time.Duration {
+	rate := m.DrainRate()
+	if rate <= 0 {
+		return 2 * time.Second
+	}
+	secs := math.Ceil(float64(len(m.queue)+1) / rate)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return time.Duration(secs) * time.Second
 }
 
 func (m *Manager) worker() {
@@ -360,25 +478,29 @@ func (m *Manager) worker() {
 		if !h.tryStart() {
 			// Cancelled (or failed by shutdown) while queued: already
 			// terminal, so count it completed just like the drain path.
-			m.completed.Add(1)
+			m.completeOne()
 			continue
 		}
 		m.running.Add(1)
 		err := m.invoke(h)
 		h.finish(err)
 		m.running.Add(-1)
-		m.completed.Add(1)
+		m.completeOne()
 	}
 }
 
 // invoke runs a job's body, converting a panic into a failure so one
-// bad job cannot take the worker pool down.
+// bad job cannot take the worker pool down. The stall hook lets the
+// chaos suite hold a worker between dequeue and run.
 func (m *Manager) invoke(h *Handle) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("jobs: job %s panicked: %v", h.id, r)
 		}
 	}()
+	if err := faultinject.Fire(faultinject.WorkerStall); err != nil {
+		return err
+	}
 	return h.run(h.ctx, m.cfg.EngineWorkersPerJob())
 }
 
@@ -404,7 +526,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		select {
 		case h := <-m.queue:
 			h.failQueued(ErrShutdown)
-			m.completed.Add(1)
+			m.completeOne()
 		default:
 			close(m.queue)
 			goto drained

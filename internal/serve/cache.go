@@ -2,8 +2,11 @@ package serve
 
 import (
 	"container/list"
+	"fmt"
 	"sync"
+	"time"
 
+	"sinrcast/internal/faultinject"
 	"sinrcast/internal/network"
 	"sinrcast/internal/sim"
 	"sinrcast/internal/sinr"
@@ -36,10 +39,51 @@ type Cache struct {
 	entries map[string]*list.Element
 	flights map[string]*flight
 
+	// neg is the per-key circuit breaker: repeated build failures open
+	// a negative entry with a TTL, so a poisoned spec fast-fails
+	// instead of triggering a rebuild storm. See CircuitOpenError.
+	neg              map[string]*negEntry
+	breakerThreshold int
+	breakerTTL       time.Duration
+
 	hits      int64
 	misses    int64
 	evictions int64
+	trips     int64
+	fastFails int64
 }
+
+// negEntry tracks consecutive build failures for one key. Once
+// failures reaches the threshold the breaker opens until the deadline;
+// past the deadline the next Get is a half-open probe — one more
+// failure re-opens immediately, a success resets the key.
+type negEntry struct {
+	failures int
+	until    time.Time
+	cause    error
+}
+
+// Breaker defaults: three consecutive build failures open the key for
+// thirty seconds.
+const (
+	DefaultBreakerThreshold = 3
+	DefaultBreakerTTL       = 30 * time.Second
+)
+
+// CircuitOpenError fast-fails a Get (and, at the transport, a submit)
+// for a key whose builds keep failing. Transports map it to HTTP 422.
+type CircuitOpenError struct {
+	Key   string
+	Until time.Time
+	Cause error
+}
+
+func (e *CircuitOpenError) Error() string {
+	return fmt.Sprintf("serve: circuit open for %q until %s after repeated build failures: %v",
+		e.Key, e.Until.UTC().Format(time.RFC3339), e.Cause)
+}
+
+func (e *CircuitOpenError) Unwrap() error { return e.Cause }
 
 type cacheEntry struct {
 	key   string
@@ -63,10 +107,67 @@ const DefaultCacheBytes = 256 << 20
 // miss.
 func NewCache(budget int64) *Cache {
 	return &Cache{
-		budget:  budget,
-		lru:     list.New(),
-		entries: make(map[string]*list.Element),
-		flights: make(map[string]*flight),
+		budget:           budget,
+		lru:              list.New(),
+		entries:          make(map[string]*list.Element),
+		flights:          make(map[string]*flight),
+		neg:              make(map[string]*negEntry),
+		breakerThreshold: DefaultBreakerThreshold,
+		breakerTTL:       DefaultBreakerTTL,
+	}
+}
+
+// SetBreaker tunes the circuit breaker (tests). threshold <= 0
+// disables it.
+func (c *Cache) SetBreaker(threshold int, ttl time.Duration) {
+	c.mu.Lock()
+	c.breakerThreshold = threshold
+	c.breakerTTL = ttl
+	c.mu.Unlock()
+}
+
+// Negative reports whether key's circuit is currently open, returning
+// the fast-fail error if so. Transports call it at admission time so a
+// poisoned spec answers 422 without ever entering the job queue.
+func (c *Cache) Negative(key string) error {
+	if c == nil || c.budget <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.negativeLocked(key)
+}
+
+func (c *Cache) negativeLocked(key string) error {
+	e := c.neg[key]
+	if e == nil || c.breakerThreshold <= 0 || e.failures < c.breakerThreshold {
+		return nil
+	}
+	if time.Now().After(e.until) {
+		return nil // half-open: let one probe build through
+	}
+	c.fastFails++
+	return &CircuitOpenError{Key: key, Until: e.until, Cause: e.cause}
+}
+
+// noteFailureLocked records one failed build; at the threshold the
+// breaker opens (or re-opens after a failed half-open probe).
+func (c *Cache) noteFailureLocked(key string, cause error) {
+	if c.breakerThreshold <= 0 {
+		return
+	}
+	e := c.neg[key]
+	if e == nil {
+		e = &negEntry{}
+		c.neg[key] = e
+	}
+	e.failures++
+	e.cause = cause
+	if e.failures >= c.breakerThreshold {
+		if e.failures == c.breakerThreshold || time.Now().After(e.until) {
+			c.trips++
+		}
+		e.until = time.Now().Add(c.breakerTTL)
 	}
 }
 
@@ -90,6 +191,9 @@ func (c *Cache) Get(key string,
 	buildEngine func(*network.Network) (sim.Resolver, error),
 ) (*network.Network, sim.Resolver, bool, error) {
 	if c.budget <= 0 {
+		if err := faultinject.Fire(faultinject.CacheBuild); err != nil {
+			return nil, nil, false, err
+		}
 		net, err := buildNet()
 		if err != nil {
 			return nil, nil, false, err
@@ -103,6 +207,10 @@ func (c *Cache) Get(key string,
 
 	for {
 		c.mu.Lock()
+		if err := c.negativeLocked(key); err != nil {
+			c.mu.Unlock()
+			return nil, nil, false, err
+		}
 		if el, ok := c.entries[key]; ok {
 			c.lru.MoveToFront(el)
 			ent := el.Value.(*cacheEntry)
@@ -133,7 +241,11 @@ func (c *Cache) Get(key string,
 		c.misses++
 		c.mu.Unlock()
 
-		net, err := buildNet()
+		err := faultinject.Fire(faultinject.CacheBuild)
+		var net *network.Network
+		if err == nil {
+			net, err = buildNet()
+		}
 		var proto sim.Resolver
 		if err == nil {
 			proto, err = buildEngine(net)
@@ -142,6 +254,7 @@ func (c *Cache) Get(key string,
 			f.err = err
 			c.mu.Lock()
 			delete(c.flights, key)
+			c.noteFailureLocked(key, err)
 			c.mu.Unlock()
 			close(f.done)
 			return nil, nil, false, err
@@ -152,6 +265,7 @@ func (c *Cache) Get(key string,
 		}
 		c.mu.Lock()
 		delete(c.flights, key)
+		delete(c.neg, key) // a successful build closes the breaker
 		c.insertLocked(ent)
 		c.mu.Unlock()
 		f.ent = ent
@@ -159,9 +273,14 @@ func (c *Cache) Get(key string,
 
 		if ent.proto != nil {
 			// The prototype is never handed out: the miss gets a clone
-			// too, exactly like every later hit.
-			eng, _ := sinr.CloneResolver(ent.proto)
-			return net, eng, false, nil
+			// too, exactly like every later hit. An injected clone fault
+			// degrades to a fresh build, never to the shared prototype.
+			if faultinject.Fire(faultinject.EngineClone) == nil {
+				eng, _ := sinr.CloneResolver(ent.proto)
+				return net, eng, false, nil
+			}
+			eng, err := buildEngine(net)
+			return net, eng, false, err
 		}
 		return net, proto, false, nil
 	}
@@ -169,7 +288,7 @@ func (c *Cache) Get(key string,
 
 // handout produces a request-private engine from a cached entry.
 func (c *Cache) handout(ent *cacheEntry, buildEngine func(*network.Network) (sim.Resolver, error), hit bool) (*network.Network, sim.Resolver, bool, error) {
-	if ent.proto != nil {
+	if ent.proto != nil && faultinject.Fire(faultinject.EngineClone) == nil {
 		if eng, ok := sinr.CloneResolver(ent.proto); ok {
 			return ent.net, eng, hit, nil
 		}
@@ -205,6 +324,8 @@ func (c *Cache) insertLocked(ent *cacheEntry) {
 }
 
 // CacheStats is a point-in-time snapshot of the cache counters.
+// Negative/Trips/FastFails are the circuit-breaker gauges: open keys,
+// breaker openings, and Gets answered from a negative entry.
 type CacheStats struct {
 	Entries   int   `json:"entries"`
 	Bytes     int64 `json:"bytes"`
@@ -212,12 +333,22 @@ type CacheStats struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
+	Negative  int   `json:"negative"`
+	Trips     int64 `json:"trips"`
+	FastFails int64 `json:"fast_fails"`
 }
 
 // Stats snapshots the cache counters.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	open := 0
+	now := time.Now()
+	for _, e := range c.neg {
+		if c.breakerThreshold > 0 && e.failures >= c.breakerThreshold && now.Before(e.until) {
+			open++
+		}
+	}
 	return CacheStats{
 		Entries:   len(c.entries),
 		Bytes:     c.used,
@@ -225,5 +356,8 @@ func (c *Cache) Stats() CacheStats {
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Evictions: c.evictions,
+		Negative:  open,
+		Trips:     c.trips,
+		FastFails: c.fastFails,
 	}
 }

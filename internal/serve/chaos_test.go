@@ -1,0 +1,283 @@
+package serve
+
+// The chaos suite: every fault point armed with seeded schedules, and
+// the daemon's robustness invariants asserted under them —
+//
+//  1. no accepted job is ever lost: every admitted id reaches a
+//     terminal state, whatever faults fire;
+//  2. jobs.Stats stays consistent: after a drain, Submitted ==
+//     Completed, nothing queued, nothing running;
+//  3. degraded paths never change results: clone failures fall back to
+//     fresh builds with byte-identical tables, journal failures only
+//     degrade /healthz.
+//
+// Schedules are deterministic — (seed, point, call-index) draws — so a
+// failing run reproduces from its seeds.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sinrcast/internal/faultinject"
+	"sinrcast/internal/jobs"
+)
+
+// waitTerminal polls a job until it leaves the queue/run states.
+func waitTerminal(t *testing.T, baseURL, id string) (state string, jerr string) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, body := get(t, baseURL+"/v1/jobs/"+id)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %s: %d %s", id, resp.StatusCode, body)
+		}
+		var out struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		if jobs.State(out.State).Terminal() {
+			return out.State, out.Error
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return "", ""
+}
+
+// TestChaosNoAcceptedJobLost runs a mixed workload with every
+// non-result fault point armed and asserts invariants 1 and 2.
+func TestChaosNoAcceptedJobLost(t *testing.T) {
+	faultinject.Arm(faultinject.CacheBuild, faultinject.Fault{Prob: 0.3, Seed: 42})
+	faultinject.Arm(faultinject.EngineClone, faultinject.Fault{Prob: 0.4, Seed: 43})
+	faultinject.Arm(faultinject.JournalAppend, faultinject.Fault{Prob: 0.2, Seed: 44})
+	faultinject.Arm(faultinject.JournalSync, faultinject.Fault{Prob: 0.2, Seed: 45})
+	faultinject.Arm(faultinject.WorkerStall, faultinject.Fault{Every: 3, Seed: 46, Stall: time.Millisecond})
+	defer faultinject.DisarmAll()
+
+	path := tempJournal(t)
+	s, ts := journalServer(t, path, Config{Jobs: jobs.Config{QueueDepth: 64, Workers: 4}})
+	// Keep the breaker out of this test's way: injected build failures
+	// are random across keys, and an open circuit rejects at admission
+	// (a different invariant, pinned separately).
+	s.Cache().SetBreaker(0, 0)
+	waitReplay(t, s)
+
+	var accepted []string
+	for i := 0; i < 24; i++ {
+		req := quickRun
+		req.Seed = uint64(100 + i%6) // a few distinct keys, shared by several jobs
+		resp, body := postJSON(t, ts.URL+"/v1/jobs", req)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		var out struct{ ID string }
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		accepted = append(accepted, out.ID)
+	}
+
+	// Invariant 1: every accepted job reaches a terminal state. Failed
+	// is acceptable (the fault was injected into its build) — lost is
+	// not.
+	for _, id := range accepted {
+		state, jerr := waitTerminal(t, ts.URL, id)
+		if state == string(jobs.StateFailed) && !strings.Contains(jerr, "injected") {
+			t.Fatalf("job %s failed with a non-injected error: %s", id, jerr)
+		}
+	}
+
+	// Invariant 2: counters reconcile after the drain.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := s.mgr.Stats()
+	if st.Submitted != int64(len(accepted)) {
+		t.Fatalf("Submitted = %d, accepted %d", st.Submitted, len(accepted))
+	}
+	if st.Completed != st.Submitted {
+		t.Fatalf("Completed = %d != Submitted = %d", st.Completed, st.Submitted)
+	}
+	if st.Running != 0 || st.Queued != 0 {
+		t.Fatalf("drained manager still has running=%d queued=%d", st.Running, st.Queued)
+	}
+}
+
+// TestChaosCloneFaultByteIdentical pins invariant 3 for the clone
+// path: with every other engine-clone handout failing, the cache
+// degrades to fresh builds and every result stays byte-identical to an
+// unarmed run.
+func TestChaosCloneFaultByteIdentical(t *testing.T) {
+	_, ref := testServer(t, Config{})
+	refID := submitJob(t, ref, quickRun)
+	wantCode, want := fetchResult(t, ref, refID, "csv")
+	if wantCode != http.StatusOK {
+		t.Fatalf("reference run failed: %s", want)
+	}
+
+	faultinject.Arm(faultinject.EngineClone, faultinject.Fault{Every: 2, Seed: 7})
+	defer faultinject.DisarmAll()
+	_, ts := testServer(t, Config{})
+	for i := 0; i < 6; i++ {
+		id := submitJob(t, ts, quickRun)
+		code, body := fetchResult(t, ts, id, "csv")
+		if code != http.StatusOK {
+			t.Fatalf("run %d under clone faults: status %d: %s", i, code, body)
+		}
+		if body != want {
+			t.Fatalf("run %d under clone faults diverged:\ngot:  %q\nwant: %q", i, body, want)
+		}
+	}
+	if faultinject.Fired(faultinject.EngineClone) == 0 {
+		t.Fatal("clone fault never fired; the test exercised nothing")
+	}
+}
+
+// TestChaosRetryByteIdentical pins that a job failed by an injected
+// build fault, resubmitted after the fault clears, produces the exact
+// bytes of a never-faulted run.
+func TestChaosRetryByteIdentical(t *testing.T) {
+	_, ref := testServer(t, Config{})
+	refID := submitJob(t, ref, quickRun)
+	_, want := fetchResult(t, ref, refID, "json")
+
+	s, ts := testServer(t, Config{})
+	s.Cache().SetBreaker(0, 0) // retries, not breaker semantics, under test
+	faultinject.Arm(faultinject.CacheBuild, faultinject.Fault{First: 1, Seed: 9})
+	defer faultinject.DisarmAll()
+
+	id := submitJob(t, ts, quickRun)
+	state, jerr := waitTerminal(t, ts.URL, id)
+	if state != string(jobs.StateFailed) || !strings.Contains(jerr, "injected") {
+		t.Fatalf("first attempt: state %s err %q, want injected failure", state, jerr)
+	}
+	// The fault was First:1 — retried submissions build clean.
+	retry := submitJob(t, ts, quickRun)
+	code, body := fetchResult(t, ts, retry, "json")
+	if code != http.StatusOK {
+		t.Fatalf("retry: status %d: %s", code, body)
+	}
+	if body != want {
+		t.Fatalf("retried job diverged from never-faulted run:\ngot:  %q\nwant: %q", body, want)
+	}
+}
+
+// TestChaosJournalFaultDegradesOnly pins that journal failures never
+// touch job outcomes: with every append failing, jobs still run to
+// done and only /healthz reports the degradation.
+func TestChaosJournalFaultDegradesOnly(t *testing.T) {
+	faultinject.Arm(faultinject.JournalAppend, faultinject.Fault{First: 1 << 30, Seed: 3})
+	defer faultinject.DisarmAll()
+
+	path := tempJournal(t)
+	s, ts := journalServer(t, path, Config{})
+	waitReplay(t, s)
+	id := submitJob(t, ts, quickRun)
+	if state, jerr := waitTerminal(t, ts.URL, id); state != string(jobs.StateDone) {
+		t.Fatalf("job under journal faults: state %s err %q, want done", state, jerr)
+	}
+	if code, body := fetchResult(t, ts, id, "text"); code != http.StatusOK {
+		t.Fatalf("result under journal faults: %d %s", code, body)
+	}
+	resp, body := get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz must stay 200 when degraded, got %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "journal_error") {
+		t.Fatalf("/healthz does not surface the journal degradation: %s", body)
+	}
+	if s.Journal().Err() == nil {
+		t.Fatal("journal error not sticky")
+	}
+}
+
+// TestChaosSinkFlushSurfaced pins the result-path half of the error
+// contract: a mid-body sink failure is counted and visible on
+// /healthz, never silently swallowed.
+func TestChaosSinkFlushSurfaced(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	id := submitJob(t, ts, quickRun)
+	if code, _ := fetchResult(t, ts, id, "text"); code != http.StatusOK {
+		t.Fatal("setup run failed")
+	}
+
+	faultinject.Arm(faultinject.SinkFlush, faultinject.Fault{First: 1, Seed: 1})
+	defer faultinject.DisarmAll()
+	fetchResult(t, ts, id, "csv") // body write fails mid-render
+	if n := s.RenderErrors(); n != 1 {
+		t.Fatalf("RenderErrors = %d, want 1", n)
+	}
+	resp, body := get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "render_errors") {
+		t.Fatalf("/healthz does not surface render errors: %d %s", resp.StatusCode, body)
+	}
+	// The fault is spent (First:1): the same result renders cleanly.
+	if code, body := fetchResult(t, ts, id, "csv"); code != http.StatusOK || !strings.Contains(body, "trial") {
+		t.Fatalf("result after spent fault: %d %q", code, body)
+	}
+}
+
+// TestChaosCrashMidJobResume is the in-process kill -9: a journaled
+// daemon is abandoned (not drained) mid-job, a second daemon replays
+// its journal, and the job finishes under its original id with the
+// reference bytes.
+func TestChaosCrashMidJobResume(t *testing.T) {
+	req := JobRequest{Scenario: "uniform:n=32", Protocol: "decay", Seed: 21, Trials: 3}
+	_, ref := testServer(t, Config{})
+	refID := submitJob(t, ref, req)
+	_, want := fetchResult(t, ref, refID, "csv")
+
+	path := tempJournal(t)
+	cfg := Config{JournalPath: path}
+	s1, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitReplay(t, s1)
+	// Gate the job body so the "crash" happens while it is running.
+	started := make(chan string, 1)
+	block := make(chan struct{})
+	s1.runHook = func(id string) {
+		select {
+		case started <- id:
+		default:
+		}
+		<-block
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	id := submitJob(t, ts1, req)
+	select {
+	case <-started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("job never started")
+	}
+	// "kill -9": no Shutdown, no journal Close — just stop talking to
+	// the server and let the accept record (AppendSync) be the only
+	// durable trace. The blocked worker goroutine leaks for the rest of
+	// the test binary, exactly like a crashed process's threads.
+	ts1.Close()
+	if err := s1.Journal().Sync(); err != nil {
+		t.Fatal(err) // the accept record must already be durable
+	}
+
+	s2, ts2 := journalServer(t, path, cfg)
+	waitReplay(t, s2)
+	code, body := fetchResult(t, ts2, id, "csv")
+	if code != http.StatusOK {
+		t.Fatalf("resumed job %s: status %d: %s", id, code, body)
+	}
+	if body != want {
+		t.Fatalf("post-crash result diverged:\ngot:  %q\nwant: %q", body, want)
+	}
+	close(block)
+}

@@ -188,6 +188,39 @@ func cacheKey(spec scenario.Spec, engine string, phys sinr.Params, seed uint64) 
 	return fmt.Sprintf("%s|%s|seed=%d", spec.String(), sinr.EngineKey(engine, phys), seed)
 }
 
+// runCacheKey returns the warm-cache key a run job will touch;
+// ok=false for experiment jobs (which bypass the serve cache) and for
+// unparseable scenarios (validate rejects those with a better error).
+func (r *JobRequest) runCacheKey() (string, bool) {
+	if r.isExperiment() {
+		return "", false
+	}
+	spec, err := scenario.Parse(r.Scenario)
+	if err != nil {
+		return "", false
+	}
+	return cacheKey(spec, r.engineName(), r.physParams(), r.Seed), true
+}
+
+// rewarm rebuilds one journaled deployment through the cache — the
+// replay path's half of runSim's cache interaction, without running
+// any trials. Failures are deliberately ignored: rewarming is an
+// optimization, and a spec that no longer builds will be reported by
+// the resubmitted job itself.
+func (s *Server) rewarm(req *JobRequest) {
+	scSpec, err := scenario.Parse(req.Scenario)
+	if err != nil {
+		return
+	}
+	phys := req.physParams()
+	engine := req.engineName()
+	key := cacheKey(scSpec, engine, phys, req.Seed)
+	s.cache.Get(key,
+		func() (*network.Network, error) { return scenario.Generate(scSpec, phys, req.Seed) },
+		func(n *network.Network) (sim.Resolver, error) { return sinr.NewNamedEngine(engine, n.Space, n.Params) },
+	)
+}
+
 // trialSeed derives the per-trial protocol seed from the request seed,
 // mirroring exp.Config.trialSeed's shape (one derivation domain per
 // job kind is unnecessary here: the request seed is already private to
@@ -236,10 +269,37 @@ func (s *Server) runSim(ctx context.Context, st *jobState, workers int) error {
 		every = s.cfg.ProgressEvery
 	}
 	trials := req.trialCount()
+	headers := []string{"trial", "seed", "rounds", "informed", "all", "phases", "tx", "rx"}
 	tb := stats.NewTable(
 		fmt.Sprintf("run %s alg=%s %s seed=%d", scSpec, prSpec, sinr.EngineKey(engine, phys), req.Seed),
-		"trial", "seed", "rounds", "informed", "all", "phases", "tx", "rx")
-	for t := 0; t < trials; t++ {
+		headers...)
+
+	// Resume at the journaled high-water mark: completed-trial rows from
+	// the previous incarnation are restored verbatim (AddRow already
+	// stringified them, so the JSON round trip is exact) and the loop
+	// starts at the first missing trial. Per-trial seeds are pure
+	// derivations of the request seed, so the recomputed tail is
+	// byte-identical to an uninterrupted run.
+	start := 0
+	if resume := st.resumeRows; len(resume) > 0 {
+		if len(resume) > trials {
+			resume = resume[:trials]
+		}
+		ok := true
+		for _, row := range resume {
+			if len(row) != len(headers) {
+				ok = false // schema drift: recompute everything
+				break
+			}
+		}
+		if ok {
+			tb.Rows = append(tb.Rows, resume...)
+			start = len(resume)
+			st.log.append(event{Type: "resume", Job: st.id, Trial: intp(start)})
+		}
+	}
+
+	for t := start; t < trials; t++ {
 		seed := trialSeed(req.Seed, t)
 		res, err := runTrial(ctx, st, net, prSpec, seed, eng, t, every)
 		if err != nil {
@@ -253,6 +313,7 @@ func (s *Server) runSim(ctx context.Context, st *jobState, workers int) error {
 		}
 		tb.AddRow(t, seed, res.Rounds, informed, res.AllInformed, res.Phases,
 			res.Metrics.Transmissions, res.Metrics.Receptions)
+		s.journal.Append(journalRecord{Op: "trial", ID: st.id, Trial: t, Row: tb.Rows[len(tb.Rows)-1]})
 	}
 	st.setTable(tb)
 	return nil
@@ -335,6 +396,13 @@ func (s *Server) runExperiment(ctx context.Context, st *jobState, workers int) e
 		Protocol: req.Protocol,
 		Engine:   req.engineName(),
 	}
+	if s.journal != nil {
+		// Checkpoint completed trials into the journal and restore the
+		// ones the previous incarnation finished, so a crashed
+		// experiment resumes at its high-water mark instead of
+		// recomputing every trial.
+		cfg.Checkpoint = &journalCheckpoint{journal: s.journal, id: st.id, restored: st.resumeTrials}
+	}
 	tb, err := r.run(cfg)
 	if err != nil {
 		return fmt.Errorf("%s: %w", r.name, err)
@@ -344,4 +412,24 @@ func (s *Server) runExperiment(ctx context.Context, st *jobState, workers int) e
 	}
 	st.setTable(tb)
 	return nil
+}
+
+// journalCheckpoint adapts the write-ahead journal to
+// exp.TrialCheckpoint: Store appends one etrial record per completed
+// trial, Load answers from the records replayed at startup. restored
+// is read-only after replay, and Journal.Append serializes internally,
+// so concurrent trials need no extra locking here.
+type journalCheckpoint struct {
+	journal  *Journal
+	id       string
+	restored map[trialKey][]byte
+}
+
+func (jc *journalCheckpoint) Load(expID, point uint64, trial int) ([]byte, bool) {
+	data, ok := jc.restored[trialKey{expID, point, trial}]
+	return data, ok
+}
+
+func (jc *journalCheckpoint) Store(expID, point uint64, trial int, data []byte) {
+	jc.journal.Append(journalRecord{Op: "etrial", ID: jc.id, Exp: expID, Point: point, Trial: trial, Data: data})
 }

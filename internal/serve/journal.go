@@ -1,0 +1,259 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sinrcast/internal/faultinject"
+)
+
+// Journal is the daemon's append-only NDJSON write-ahead log: one
+// record per accepted job spec, per completed trial, and per terminal
+// state. A restarted daemon replays it to rewarm the hottest
+// warm-engine cache keys and to re-queue (and trial-level resume) jobs
+// that were in-flight at the crash — see (*Server).replay.
+//
+// Durability model: records are buffered and fsynced in batches by a
+// background syncer (group commit), so the crash-loss window is one
+// batch interval (syncBatch) of the *most recent* records — never a
+// torn prefix. Accept records ride AppendSync, which forces the batch
+// out before the admission response leaves the daemon. Reading
+// tolerates a torn final line (the kill -9 case): parseable records up
+// to the tear are replayed, the tear itself is skipped and counted.
+//
+// A journal failure (disk full, injected fault) is sticky and
+// non-fatal: the daemon keeps serving, later appends are dropped, and
+// Err surfaces the degradation through /healthz.
+type Journal struct {
+	mu    sync.Mutex
+	f     *os.File
+	w     *bufio.Writer
+	err   error
+	dirty bool
+
+	kick chan struct{}
+	quit chan struct{}
+	done chan struct{}
+
+	closeOnce sync.Once
+	appends   atomic.Int64
+	syncs     atomic.Int64
+}
+
+// syncBatch is the group-commit window: appends within one window
+// share one flush+fsync.
+const syncBatch = 10 * time.Millisecond
+
+// journalRecord is one NDJSON line. Op selects the shape:
+//
+//	accept  {id, req}            job admitted (the write-ahead record)
+//	trial   {id, trial, row}     run job: one completed trial's table row
+//	etrial  {id, exp, point, trial, data}
+//	                             experiment job: one completed trial's
+//	                             gob-encoded result (exp.TrialCheckpoint)
+//	done    {id, state, error}   terminal state
+type journalRecord struct {
+	Op    string      `json:"op"`
+	ID    string      `json:"id"`
+	Req   *JobRequest `json:"req,omitempty"`
+	Trial int         `json:"trial,omitempty"`
+	Row   []string    `json:"row,omitempty"`
+	Exp   uint64      `json:"exp,omitempty"`
+	Point uint64      `json:"point,omitempty"`
+	Data  []byte      `json:"data,omitempty"`
+	State string      `json:"state,omitempty"`
+	Error string      `json:"error,omitempty"`
+}
+
+// OpenJournal opens (or creates) the journal at path in append mode
+// and starts the batch syncer.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{
+		f:    f,
+		w:    bufio.NewWriter(f),
+		kick: make(chan struct{}, 1),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go j.syncLoop()
+	return j, nil
+}
+
+// Append buffers one record for the next batched fsync. Safe on a nil
+// journal (journaling disabled) — it is the universal hook in the job
+// path. Errors are sticky: after the first failed write or sync the
+// journal drops records and reports through Err.
+func (j *Journal) Append(rec journalRecord) {
+	if j == nil {
+		return
+	}
+	if err := faultinject.Fire(faultinject.JournalAppend); err != nil {
+		j.fail(err)
+		return
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		j.fail(err)
+		return
+	}
+	j.mu.Lock()
+	if j.err == nil {
+		if _, werr := j.w.Write(append(b, '\n')); werr != nil {
+			j.err = werr
+		} else {
+			j.dirty = true
+			j.appends.Add(1)
+		}
+	}
+	j.mu.Unlock()
+	select {
+	case j.kick <- struct{}{}:
+	default:
+	}
+}
+
+// AppendSync appends and forces the current batch to disk before
+// returning — the accept-record path, where the write-ahead contract
+// wants durability before the admission response.
+func (j *Journal) AppendSync(rec journalRecord) {
+	if j == nil {
+		return
+	}
+	j.Append(rec)
+	j.Sync()
+}
+
+func (j *Journal) fail(err error) {
+	j.mu.Lock()
+	if j.err == nil {
+		j.err = err
+	}
+	j.mu.Unlock()
+}
+
+// Sync flushes buffered records and fsyncs the file now.
+func (j *Journal) Sync() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.syncLocked()
+}
+
+func (j *Journal) syncLocked() error {
+	if j.err != nil {
+		return j.err
+	}
+	if !j.dirty {
+		return nil
+	}
+	if err := faultinject.Fire(faultinject.JournalSync); err != nil {
+		j.err = err
+		return err
+	}
+	if err := j.w.Flush(); err != nil {
+		j.err = err
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		j.err = err
+		return err
+	}
+	j.dirty = false
+	j.syncs.Add(1)
+	return nil
+}
+
+// syncLoop is the group-commit goroutine: a kick opens a syncBatch
+// window, every append inside it shares the one fsync at its close.
+func (j *Journal) syncLoop() {
+	defer close(j.done)
+	for {
+		select {
+		case <-j.quit:
+			j.Sync()
+			return
+		case <-j.kick:
+			t := time.NewTimer(syncBatch)
+			select {
+			case <-t.C:
+			case <-j.quit:
+				t.Stop()
+				j.Sync()
+				return
+			}
+			j.Sync()
+		}
+	}
+}
+
+// Err returns the sticky journal error, nil while healthy.
+func (j *Journal) Err() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Syncs returns how many batched fsyncs have run (tests, stats).
+func (j *Journal) Syncs() int64 {
+	if j == nil {
+		return 0
+	}
+	return j.syncs.Load()
+}
+
+// Close stops the syncer, flushes the tail, and closes the file.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.closeOnce.Do(func() {
+		close(j.quit)
+		<-j.done
+		j.mu.Lock()
+		if cerr := j.f.Close(); cerr != nil && j.err == nil {
+			j.err = cerr
+		}
+		j.mu.Unlock()
+	})
+	return j.Err()
+}
+
+// ReadJournalRecords reads every parseable record of the journal at
+// path, in order, skipping unparseable lines (a kill -9 can tear the
+// final line mid-write) and returning how many were skipped. A missing
+// file is an empty journal, not an error.
+func ReadJournalRecords(path string) (recs []journalRecord, skipped int, err error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, err
+	}
+	for _, line := range bytes.Split(b, []byte{'\n'}) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if json.Unmarshal(line, &rec) != nil || rec.Op == "" || rec.ID == "" {
+			skipped++
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	return recs, skipped, nil
+}

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sinrcast/internal/faultinject"
+)
+
+func tempJournal(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "jobs.ndjson")
+}
+
+func TestJournalAppendSyncRead(t *testing.T) {
+	path := tempJournal(t)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.AppendSync(journalRecord{Op: "accept", ID: "j1", Req: &quickRun})
+	j.Append(journalRecord{Op: "trial", ID: "j1", Trial: 0, Row: []string{"0", "7", "12", "32", "true", "3", "40", "41"}})
+	j.Append(journalRecord{Op: "done", ID: "j1", State: "done"})
+	if err := j.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	recs, skipped, err := ReadJournalRecords(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("skipped %d records of a clean journal", skipped)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	if recs[0].Op != "accept" || recs[0].Req == nil || recs[0].Req.Scenario != quickRun.Scenario {
+		t.Fatalf("accept record did not round-trip: %+v", recs[0])
+	}
+	if recs[1].Op != "trial" || recs[1].Row[2] != "12" {
+		t.Fatalf("trial record did not round-trip: %+v", recs[1])
+	}
+	if recs[2].Op != "done" || recs[2].State != "done" {
+		t.Fatalf("done record did not round-trip: %+v", recs[2])
+	}
+}
+
+// TestJournalGroupCommit pins the batching: appends inside one
+// syncBatch window share a single fsync.
+func TestJournalGroupCommit(t *testing.T) {
+	j, err := OpenJournal(tempJournal(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for i := 0; i < 50; i++ {
+		j.Append(journalRecord{Op: "trial", ID: "j1", Trial: i})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for j.Syncs() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	// Wait out a couple more batch windows: no further appends, so no
+	// further syncs should be scheduled beyond the in-flight window.
+	time.Sleep(5 * syncBatch)
+	if n := j.Syncs(); n == 0 || n > 3 {
+		t.Fatalf("50 appends produced %d syncs, want 1..3 (group commit)", n)
+	}
+}
+
+// TestJournalTornFinalLine pins kill -9 tolerance: a journal whose
+// final line was torn mid-write still yields every whole record.
+func TestJournalTornFinalLine(t *testing.T) {
+	path := tempJournal(t)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(journalRecord{Op: "accept", ID: "j1", Req: &quickRun})
+	j.Append(journalRecord{Op: "trial", ID: "j1", Trial: 0, Row: []string{"a"}})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"trial","id":"j1","tri`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	recs, skipped, err := ReadJournalRecords(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records before the tear, want 2", len(recs))
+	}
+	if skipped != 1 {
+		t.Fatalf("skipped %d, want exactly the torn line", skipped)
+	}
+}
+
+func TestJournalMissingFileIsEmpty(t *testing.T) {
+	recs, skipped, err := ReadJournalRecords(filepath.Join(t.TempDir(), "absent.ndjson"))
+	if err != nil || len(recs) != 0 || skipped != 0 {
+		t.Fatalf("missing journal: recs=%v skipped=%d err=%v, want empty", recs, skipped, err)
+	}
+}
+
+// TestJournalNilSafe pins that a disabled journal (nil) absorbs the
+// whole API: the job path calls these unconditionally.
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	j.Append(journalRecord{Op: "trial", ID: "j1"})
+	j.AppendSync(journalRecord{Op: "accept", ID: "j1"})
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Syncs() != 0 {
+		t.Fatal("nil journal reported syncs")
+	}
+}
+
+// TestJournalStickyError pins the degradation contract: an injected
+// sync failure makes the journal report unhealthy without panicking or
+// blocking later appends.
+func TestJournalStickyError(t *testing.T) {
+	j, err := OpenJournal(tempJournal(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	faultinject.Arm(faultinject.JournalSync, faultinject.Fault{First: 1, Seed: 1})
+	defer faultinject.DisarmAll()
+	j.AppendSync(journalRecord{Op: "accept", ID: "j1", Req: &quickRun})
+	if j.Err() == nil {
+		t.Fatal("injected sync fault did not stick")
+	}
+	// Later traffic must not panic or block.
+	j.Append(journalRecord{Op: "done", ID: "j1", State: "done"})
+	if err := j.Sync(); err == nil {
+		t.Fatal("sticky error cleared itself")
+	}
+}

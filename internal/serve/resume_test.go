@@ -1,0 +1,335 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// journalServer builds a crash-safe server over path and registers the
+// usual cleanup.
+func journalServer(t *testing.T, path string, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg.JournalPath = path
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+func waitReplay(t *testing.T, s *Server) {
+	t.Helper()
+	select {
+	case <-s.ReplayDone():
+	case <-time.After(30 * time.Second):
+		t.Fatal("replay did not finish")
+	}
+}
+
+// rewriteJournal filters the journal at path through keep, simulating
+// a crash at a chosen instant (e.g. dropping the done record and the
+// last trials of a finished run).
+func rewriteJournal(t *testing.T, path string, keep func(journalRecord) bool) {
+	t.Helper()
+	recs, _, err := ReadJournalRecords(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	for _, rec := range recs {
+		if keep(rec) {
+			if err := enc.Encode(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// appendRaw appends raw bytes (e.g. a torn half-line) to the journal.
+func appendRaw(t *testing.T, path, raw string) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(raw); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+}
+
+// TestRunJobResumeByteIdentical is the crash-resume gate (run by name
+// in CI): a run job interrupted after its first trials must, on a
+// restarted daemon, keep its id, skip the completed trials, and render
+// a table byte-identical to an uninterrupted run in every format.
+func TestRunJobResumeByteIdentical(t *testing.T) {
+	req := JobRequest{Scenario: "uniform:n=32", Protocol: "decay", Seed: 11, Trials: 4, ProgressEvery: 1}
+
+	// Reference: an uninterrupted run on a journal-less server.
+	_, ref := testServer(t, Config{})
+	refID := submitJob(t, ref, req)
+	want := map[string]string{}
+	for _, format := range []string{"text", "csv", "json"} {
+		code, body := fetchResult(t, ref, refID, format)
+		if code != http.StatusOK {
+			t.Fatalf("reference %s: status %d: %s", format, code, body)
+		}
+		want[format] = body
+	}
+
+	// Generation 1: run the same job to completion on a journaled
+	// server, then rewrite the journal as if the daemon died after
+	// trial 1 (keep the accept and trials 0–1; drop the rest) with a
+	// torn line at the tail, as a kill -9 would leave it.
+	path := tempJournal(t)
+	s1, ts1 := journalServer(t, path, Config{})
+	waitReplay(t, s1)
+	id := submitJob(t, ts1, req)
+	if code, body := fetchResult(t, ts1, id, "text"); code != http.StatusOK {
+		t.Fatalf("gen1 run: status %d: %s", code, body)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	rewriteJournal(t, path, func(rec journalRecord) bool {
+		if rec.ID != id {
+			return false
+		}
+		return rec.Op == "accept" || (rec.Op == "trial" && rec.Trial <= 1)
+	})
+	appendRaw(t, path, `{"op":"trial","id":"`+id+`","trial":2,"row":["2`)
+
+	// Generation 2: replay must re-queue the job under its original id
+	// and resume at trial 2.
+	s2, ts2 := journalServer(t, path, Config{})
+	waitReplay(t, s2)
+	for _, format := range []string{"text", "csv", "json"} {
+		code, body := fetchResult(t, ts2, id, format)
+		if code != http.StatusOK {
+			t.Fatalf("resumed %s: status %d: %s", format, code, body)
+		}
+		if body != want[format] {
+			t.Fatalf("resumed %s table differs from uninterrupted run:\nresumed:  %q\nreference: %q", format, body, want[format])
+		}
+	}
+
+	// Prove the high-water mark held: with ProgressEvery=1 every
+	// executed trial emits progress events, so the resumed log must
+	// contain progress for trials 2..3 only, plus the resume marker.
+	_, stream := get(t, ts2.URL+"/v1/jobs/"+id+"/stream")
+	if !strings.Contains(string(stream), `"type":"resume"`) {
+		t.Fatalf("resumed job emitted no resume event:\n%s", stream)
+	}
+	for _, line := range strings.Split(string(stream), "\n") {
+		if !strings.Contains(line, `"type":"progress"`) {
+			continue
+		}
+		var ev struct {
+			Trial *int `json:"trial"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil || ev.Trial == nil {
+			t.Fatalf("bad progress line %q: %v", line, err)
+		}
+		if *ev.Trial < 2 {
+			t.Fatalf("resumed job re-ran trial %d below the high-water mark", *ev.Trial)
+		}
+	}
+}
+
+// TestReplayRewarmsCache pins the rewarm half of replay: the journaled
+// run job's cache key must be hot before the first post-restart
+// request touches it.
+func TestReplayRewarmsCache(t *testing.T) {
+	path := tempJournal(t)
+	s1, ts1 := journalServer(t, path, Config{})
+	waitReplay(t, s1)
+	id := submitJob(t, ts1, quickRun)
+	if code, body := fetchResult(t, ts1, id, "text"); code != http.StatusOK {
+		t.Fatalf("gen1: status %d: %s", code, body)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	s2, ts2 := journalServer(t, path, Config{})
+	waitReplay(t, s2)
+	if st := s2.Cache().Stats(); st.Entries == 0 {
+		t.Fatalf("replay rewarmed no cache entries: %+v", st)
+	}
+	// The first post-restart submission of the same spec must be a hit.
+	before := s2.Cache().Stats()
+	id2 := submitJob(t, ts2, quickRun)
+	if code, _ := fetchResult(t, ts2, id2, "text"); code != http.StatusOK {
+		t.Fatalf("gen2 run failed")
+	}
+	after := s2.Cache().Stats()
+	if after.Hits <= before.Hits {
+		t.Fatalf("post-restart submission was not a cache hit: before %+v after %+v", before, after)
+	}
+	if after.Misses != before.Misses {
+		t.Fatalf("post-restart submission missed: before %+v after %+v", before, after)
+	}
+}
+
+// TestExperimentResumeByteIdentical pins trial-level resume of an
+// experiment job: checkpointed trials are restored, the rest are
+// recomputed, and the table matches an uninterrupted run exactly.
+func TestExperimentResumeByteIdentical(t *testing.T) {
+	req := JobRequest{Experiment: 13, Seed: 5, Trials: 3, Scenario: "uniform:n=24", Protocol: "decay"}
+
+	_, ref := testServer(t, Config{})
+	refID := submitJob(t, ref, req)
+	want := map[string]string{}
+	for _, format := range []string{"text", "csv", "json"} {
+		code, body := fetchResult(t, ref, refID, format)
+		if code != http.StatusOK {
+			t.Fatalf("reference %s: status %d: %s", format, code, body)
+		}
+		want[format] = body
+	}
+
+	path := tempJournal(t)
+	s1, ts1 := journalServer(t, path, Config{})
+	waitReplay(t, s1)
+	id := submitJob(t, ts1, req)
+	if code, body := fetchResult(t, ts1, id, "text"); code != http.StatusOK {
+		t.Fatalf("gen1: status %d: %s", code, body)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	// Crash simulation: drop the done record and every second etrial —
+	// resume must restore the kept trials and recompute the dropped
+	// ones to the same bytes.
+	kept, dropped := 0, 0
+	rewriteJournal(t, path, func(rec journalRecord) bool {
+		if rec.ID != id {
+			return false
+		}
+		switch rec.Op {
+		case "accept":
+			return true
+		case "etrial":
+			if rec.Trial%2 == 0 {
+				kept++
+				return true
+			}
+			dropped++
+			return false
+		default:
+			return false
+		}
+	})
+	if kept == 0 || dropped == 0 {
+		t.Fatalf("journal surgery kept %d / dropped %d etrial records; experiment journaled too few trials", kept, dropped)
+	}
+
+	s2, ts2 := journalServer(t, path, Config{})
+	waitReplay(t, s2)
+	for _, format := range []string{"text", "csv", "json"} {
+		code, body := fetchResult(t, ts2, id, format)
+		if code != http.StatusOK {
+			t.Fatalf("resumed %s: status %d: %s", format, code, body)
+		}
+		if body != want[format] {
+			t.Fatalf("resumed experiment %s table differs from uninterrupted run", format)
+		}
+	}
+}
+
+// TestReadyzFlips pins the readiness lifecycle: 503 while replay runs,
+// 200 once ready, 503 again during drain — with /healthz at 200
+// throughout.
+func TestReadyzFlips(t *testing.T) {
+	path := tempJournal(t)
+	cfg := Config{JournalPath: path}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	waitReplay(t, s)
+	if resp, body := get(t, ts.URL+"/readyz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ready server: /readyz %d: %s", resp.StatusCode, body)
+	}
+	if resp, _ := get(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz not 200")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if resp, body := get(t, ts.URL+"/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining server: /readyz %d: %s", resp.StatusCode, body)
+	}
+	if resp, _ := get(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("draining server: /healthz not 200")
+	}
+
+	// A fresh server over the same journal starts not-ready: observe
+	// the pre-replay state via the handler before waiting.
+	s2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer func() {
+		ts2.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s2.Shutdown(ctx)
+	}()
+	// Replay may already have finished (tiny journal) — only assert the
+	// invariant that readyz never reports ready before ReplayDone.
+	resp, _ := get(t, ts2.URL+"/readyz")
+	select {
+	case <-s2.ReplayDone():
+	default:
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("/readyz reported ready during replay: %d", resp.StatusCode)
+		}
+	}
+	waitReplay(t, s2)
+	if resp, _ := get(t, ts2.URL+"/readyz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz not 200 after replay")
+	}
+}

@@ -15,6 +15,22 @@
 // the missing one — receives a ~sub-microsecond clone sharing the
 // immutable topology slabs, so repeated studies over one deployment
 // pay generation and construction exactly once.
+//
+// Crash safety is opt-in via Config.JournalPath (Open instead of New):
+// an append-only NDJSON write-ahead journal records every accepted job
+// spec — fsynced before the admission response — plus per-trial rows,
+// experiment-trial checkpoints, and terminal states, with group-commit
+// batching the fsyncs. Restart replay drops completed jobs, rebuilds
+// the hottest cache keys so early submissions hit warm, and re-queues
+// in-flight jobs under their original ids, resuming from the journaled
+// trial high-water mark; because per-trial seeds derive from (seed,
+// trial), resumed tables are byte-identical to uninterrupted runs.
+// Journal failures are sticky and degrade /healthz but never fail
+// jobs. /readyz answers 503 during replay and drain; a per-key circuit
+// breaker fast-fails (422) submissions whose cache key keeps failing
+// to build; and the 429 Retry-After hint tracks the measured drain
+// rate. The chaos suite exercises all of it through the deterministic
+// fault points of internal/faultinject.
 package serve
 
 import (
@@ -23,16 +39,20 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"sinrcast/internal/faultinject"
 	"sinrcast/internal/jobs"
 	"sinrcast/internal/stats"
 )
 
 // Config sizes a Server. The zero value is serviceable: jobs.Config
-// defaults, a DefaultCacheBytes cache, progress every 256 rounds.
+// defaults, a DefaultCacheBytes cache, progress every 256 rounds, no
+// journal.
 type Config struct {
 	// Jobs configures the admission queue and worker pool.
 	Jobs jobs.Config
@@ -43,6 +63,14 @@ type Config struct {
 	// rounds for run jobs that do not set their own (0 selects 256,
 	// negative disables progress events).
 	ProgressEvery int
+	// JournalPath, when set, enables the crash-safety journal: accepted
+	// job specs, completed trials, and terminal states are logged to
+	// this NDJSON file, and Open replays it on restart. Empty disables
+	// journaling (New never journals).
+	JournalPath string
+	// RewarmHot caps how many of the journal's hottest cache keys are
+	// rebuilt during replay (0 selects 8, negative disables rewarming).
+	RewarmHot int
 }
 
 func (c Config) withDefaults() Config {
@@ -51,6 +79,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ProgressEvery == 0 {
 		c.ProgressEvery = 256
+	}
+	if c.RewarmHot == 0 {
+		c.RewarmHot = 8
 	}
 	return c
 }
@@ -64,8 +95,21 @@ type jobState struct {
 	handle *jobs.Handle
 	log    *eventLog
 
+	// Resume state, populated only by journal replay: the contiguous
+	// prefix of completed run-job trial rows, and the checkpointed
+	// experiment trial results keyed by (expID, point, trial). Both are
+	// read-only once the job starts.
+	resumeRows   [][]string
+	resumeTrials map[trialKey][]byte
+
 	mu    sync.Mutex
 	table *stats.Table
+}
+
+// trialKey addresses one checkpointed experiment trial.
+type trialKey struct {
+	exp, point uint64
+	trial      int
 }
 
 func (st *jobState) setTable(t *stats.Table) {
@@ -81,11 +125,34 @@ func (st *jobState) getTable() *stats.Table {
 	return st.table
 }
 
-// Server is the daemon state: manager, cache, and the job registry.
+// Server is the daemon state: manager, cache, journal, and the job
+// registry.
 type Server struct {
 	cfg   Config
 	mgr   *jobs.Manager
 	cache *Cache
+
+	// journal is nil unless the server was built by Open with a
+	// JournalPath; every method on it is nil-safe.
+	journal *Journal
+
+	// ready is false while journal replay runs and flips true when the
+	// daemon can serve results consistently; draining flips true when
+	// Shutdown begins. /readyz reports 200 only for ready && !draining.
+	ready         atomic.Bool
+	draining      atomic.Bool
+	replayDone    chan struct{}
+	replaySkipped atomic.Int64
+
+	// renderErrs counts result renderings whose sink reported a write
+	// or flush error after the status line was already committed — the
+	// only remaining way to surface a mid-body failure.
+	renderErrs atomic.Int64
+
+	// watchers tracks the per-job terminal-state goroutines so Shutdown
+	// can wait for the last "done" journal record before closing the
+	// journal.
+	watchers sync.WaitGroup
 
 	mu     sync.Mutex
 	states map[string]*jobState
@@ -96,30 +163,80 @@ type Server struct {
 	runHook func(id string)
 }
 
-// New builds a Server with its own jobs.Manager and warm-engine cache.
+// New builds a Server with its own jobs.Manager and warm-engine cache,
+// without journaling or replay. Use Open for a crash-safe daemon.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
-		cfg:    cfg,
-		mgr:    jobs.New(cfg.Jobs),
-		cache:  NewCache(cfg.CacheBytes),
-		states: make(map[string]*jobState),
+	done := make(chan struct{})
+	close(done)
+	s := &Server{
+		cfg:        cfg,
+		mgr:        jobs.New(cfg.Jobs),
+		cache:      NewCache(cfg.CacheBytes),
+		states:     make(map[string]*jobState),
+		replayDone: done,
 	}
+	s.ready.Store(true)
+	return s
 }
+
+// Open builds a Server and, when cfg.JournalPath is set, recovers the
+// previous incarnation's state from the journal before the new one is
+// ready: the hottest cache keys are rebuilt and every job that was
+// accepted but not terminal at the crash is re-queued under its
+// original id, resuming at its completed-trial high-water mark. Replay
+// runs in the background — the HTTP listener can come up immediately —
+// and /readyz answers 503 until it finishes.
+func Open(cfg Config) (*Server, error) {
+	s := New(cfg)
+	if s.cfg.JournalPath == "" {
+		return s, nil
+	}
+	recs, skipped, err := ReadJournalRecords(s.cfg.JournalPath)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading journal: %w", err)
+	}
+	j, err := OpenJournal(s.cfg.JournalPath)
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening journal: %w", err)
+	}
+	s.journal = j
+	s.ready.Store(false)
+	s.replayDone = make(chan struct{})
+	go s.replay(recs, skipped)
+	return s, nil
+}
+
+// ReplayDone returns a channel closed once journal replay has finished
+// (immediately for servers without a journal). Tests and orchestration
+// wait on it; clients should poll /readyz.
+func (s *Server) ReplayDone() <-chan struct{} { return s.replayDone }
 
 // Cache exposes the warm-engine cache (benchmarks and tests).
 func (s *Server) Cache() *Cache { return s.cache }
 
-// Shutdown drains the daemon: submissions are rejected, queued jobs
-// fail cleanly, in-flight jobs finish (or are force-canceled when ctx
-// expires). See jobs.Manager.Shutdown.
+// Journal exposes the write-ahead journal; nil without one (tests).
+func (s *Server) Journal() *Journal { return s.journal }
+
+// Shutdown drains the daemon: /readyz starts failing, submissions are
+// rejected, queued jobs fail cleanly, in-flight jobs finish (or are
+// force-canceled when ctx expires), their terminal states are
+// journaled, and the journal is flushed and closed. See
+// jobs.Manager.Shutdown.
 func (s *Server) Shutdown(ctx context.Context) error {
-	return s.mgr.Shutdown(ctx)
+	s.draining.Store(true)
+	err := s.mgr.Shutdown(ctx)
+	s.watchers.Wait()
+	// A journal failure is a recorded degradation (Err, /healthz), not
+	// a shutdown failure: the drain completed either way.
+	s.journal.Close()
+	return err
 }
 
 // Handler returns the HTTP API:
 //
-//	GET    /healthz              liveness
+//	GET    /healthz              liveness (+ journal degradation report)
+//	GET    /readyz               readiness: 503 during replay and drain
 //	POST   /v1/jobs              submit a JobRequest → 202 {id, state}
 //	GET    /v1/jobs              list jobs
 //	GET    /v1/jobs/{id}         job status
@@ -130,9 +247,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 //	POST   /rpc                  JSON-RPC 2.0 (job.submit/status/cancel/list, cache.stats)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
@@ -155,13 +271,61 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]any{"error": fmt.Sprintf(format, args...)})
 }
 
+// handleHealthz is liveness plus the degradation report: a daemon with
+// a sticky journal error or sink render failures is alive (200) but
+// says so, so operators see a crash-safety gap before the next crash.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	body := map[string]any{"ok": true}
+	if jerr := s.journal.Err(); jerr != nil {
+		body["journal_error"] = jerr.Error()
+		body["degraded"] = true
+	}
+	if n := s.renderErrs.Load(); n > 0 {
+		body["render_errors"] = n
+	}
+	if n := s.replaySkipped.Load(); n > 0 {
+		body["replay_skipped"] = n
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleReadyz gates load balancing: 503 while journal replay is still
+// rebuilding state and again once Shutdown starts draining. Liveness
+// (/healthz) stays 200 through both.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ready := s.ready.Load() && !s.draining.Load()
+	code := http.StatusOK
+	if !ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"ready":    ready,
+		"replayed": s.ready.Load(),
+		"draining": s.draining.Load(),
+	})
+}
+
 // submit validates and admits a request, returning the job state or an
 // admission error. Both transports (REST and RPC) route through it.
 func (s *Server) submit(req *JobRequest) (*jobState, error) {
+	return s.admit(req, "", nil, nil)
+}
+
+// admit is submit plus the replay entry point: a non-empty id re-queues
+// a journaled job under its original id with its resume state.
+func (s *Server) admit(req *JobRequest, id string, resumeRows [][]string, resumeTrials map[trialKey][]byte) (*jobState, error) {
 	if err := req.validate(); err != nil {
 		return nil, &badRequestError{err}
 	}
-	st := &jobState{req: req, log: newEventLog()}
+	// A key whose builds keep failing fast-fails here, at admission —
+	// the job would only rediscover the open circuit at run time, after
+	// occupying a queue slot.
+	if key, ok := req.runCacheKey(); ok {
+		if err := s.cache.Negative(key); err != nil {
+			return nil, err
+		}
+	}
+	st := &jobState{req: req, log: newEventLog(), resumeRows: resumeRows, resumeTrials: resumeTrials}
 	// st.id and st.handle are assigned only after Submit returns, but a
 	// worker may pick the job up immediately; ready gates the closure so
 	// it never observes them half-initialized (and so the "queued" event
@@ -181,7 +345,13 @@ func (s *Server) submit(req *JobRequest) (*jobState, error) {
 		}
 		return err
 	}
-	h, err := s.mgr.Submit(req.name(), run)
+	var h *jobs.Handle
+	var err error
+	if id == "" {
+		h, err = s.mgr.Submit(req.name(), run)
+	} else {
+		h, err = s.mgr.Resubmit(id, req.name(), run)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -191,21 +361,151 @@ func (s *Server) submit(req *JobRequest) (*jobState, error) {
 	s.states[st.id] = st
 	s.pruneLocked()
 	s.mu.Unlock()
+	// Write-ahead: the accept record is durable before the admission
+	// response leaves the daemon, so a crash after this point can never
+	// lose the job.
+	s.journal.AppendSync(journalRecord{Op: "accept", ID: st.id, Req: req})
 	st.log.append(event{Type: "state", Job: st.id, State: string(jobs.StateQueued)})
 	close(ready)
 	// Close the event stream with the terminal state once the job
-	// finishes, whatever path it took.
+	// finishes, whatever path it took, and journal that state so a
+	// restart knows the job needs no replay.
+	s.watchers.Add(1)
 	go func() {
+		defer s.watchers.Done()
 		<-h.Done()
 		state, jerr := h.State()
 		e := event{Type: "state", Job: st.id, State: string(state)}
+		rec := journalRecord{Op: "done", ID: st.id, State: string(state)}
 		if jerr != nil {
 			e.Error = jerr.Error()
+			rec.Error = jerr.Error()
 		}
 		st.log.append(e)
 		st.log.close()
+		s.journal.Append(rec)
 	}()
 	return st, nil
+}
+
+// replayedJob folds one job's journal records.
+type replayedJob struct {
+	id      string
+	req     *JobRequest
+	rows    map[int][]string
+	etrials map[trialKey][]byte
+	done    bool
+}
+
+// replay rebuilds daemon state from the previous incarnation's journal
+// records: the hottest cache keys are rebuilt (most-referenced first,
+// ties to the most recently journaled), then every job that was
+// accepted but never reached a terminal state is re-queued under its
+// original id with its completed-trial high-water mark. Runs in the
+// background; /readyz flips to 200 once it returns.
+func (s *Server) replay(recs []journalRecord, skipped int) {
+	defer func() {
+		s.replaySkipped.Store(int64(skipped))
+		s.ready.Store(true)
+		close(s.replayDone)
+	}()
+	byID := make(map[string]*replayedJob)
+	var order []string
+	type heat struct {
+		req   *JobRequest
+		count int
+		last  int
+	}
+	keys := make(map[string]*heat)
+	for i, rec := range recs {
+		rj := byID[rec.ID]
+		if rj == nil {
+			rj = &replayedJob{id: rec.ID}
+			byID[rec.ID] = rj
+			order = append(order, rec.ID)
+		}
+		switch rec.Op {
+		case "accept":
+			if rec.Req != nil {
+				rj.req = rec.Req
+				if key, ok := rec.Req.runCacheKey(); ok {
+					h := keys[key]
+					if h == nil {
+						h = &heat{req: rec.Req}
+						keys[key] = h
+					}
+					h.count++
+					h.last = i
+				}
+			}
+		case "trial":
+			if rj.rows == nil {
+				rj.rows = make(map[int][]string)
+			}
+			rj.rows[rec.Trial] = rec.Row
+		case "etrial":
+			if rj.etrials == nil {
+				rj.etrials = make(map[trialKey][]byte)
+			}
+			rj.etrials[trialKey{rec.Exp, rec.Point, rec.Trial}] = rec.Data
+		case "done":
+			rj.done = true
+		}
+	}
+
+	if s.cfg.RewarmHot > 0 {
+		type ranked struct {
+			key string
+			h   *heat
+		}
+		var hot []ranked
+		for k, h := range keys {
+			hot = append(hot, ranked{k, h})
+		}
+		sort.Slice(hot, func(a, b int) bool {
+			if hot[a].h.count != hot[b].h.count {
+				return hot[a].h.count > hot[b].h.count
+			}
+			if hot[a].h.last != hot[b].h.last {
+				return hot[a].h.last > hot[b].h.last
+			}
+			return hot[a].key < hot[b].key
+		})
+		if len(hot) > s.cfg.RewarmHot {
+			hot = hot[:s.cfg.RewarmHot]
+		}
+		for _, r := range hot {
+			s.rewarm(r.h.req)
+		}
+	}
+
+	for _, id := range order {
+		rj := byID[id]
+		if rj.done || rj.req == nil {
+			continue
+		}
+		if _, err := s.admit(rj.req, rj.id, contiguousRows(rj.rows), rj.etrials); err != nil {
+			// The job was durably accepted; dropping it silently would
+			// break the write-ahead contract, so its loss is recorded as
+			// the terminal state.
+			s.journal.Append(journalRecord{Op: "done", ID: rj.id,
+				State: string(jobs.StateFailed), Error: fmt.Sprintf("replay: %v", err)})
+		}
+	}
+}
+
+// contiguousRows returns the longest 0-based contiguous prefix of
+// journaled trial rows — the resume high-water mark. Rows past a gap
+// cannot be placed positionally and are recomputed instead.
+func contiguousRows(rows map[int][]string) [][]string {
+	var out [][]string
+	for t := 0; ; t++ {
+		row, ok := rows[t]
+		if !ok {
+			return out
+		}
+		out = append(out, row)
+	}
 }
 
 // maxStates mirrors the jobs layer's retention bound for the
@@ -243,21 +543,27 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := s.submit(&req)
 	if err != nil {
-		writeSubmitError(w, err)
+		s.writeSubmitError(w, err)
 		return
 	}
 	state, _ := st.handle.State()
 	writeJSON(w, http.StatusAccepted, map[string]any{"id": st.id, "state": string(state)})
 }
 
-func writeSubmitError(w http.ResponseWriter, err error) {
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+	var open *CircuitOpenError
 	switch {
 	case isBadRequest(err):
 		writeError(w, http.StatusBadRequest, "%v", err)
+	case errors.As(err, &open):
+		// The key's builds keep failing; retrying the identical spec
+		// before the breaker's TTL would only rediscover the failure.
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 	case err == jobs.ErrQueueFull:
-		// Backpressure, not failure: the client should retry after the
-		// queue drains a little.
-		w.Header().Set("Retry-After", "1")
+		// Backpressure, not failure: the hint is computed from the
+		// observed queue drain rate, so a client backing off by it
+		// should find a slot on the first retry.
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.mgr.RetryAfter()/time.Second)))
 		writeError(w, http.StatusTooManyRequests, "%v", err)
 	case err == jobs.ErrShutdown:
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
@@ -356,10 +662,20 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	ctx := r.Context()
 	offset := 0
 	for {
 		lines, closed, wake := st.log.next(offset)
 		for _, line := range lines {
+			// A departed client must release the stream promptly even
+			// when the log keeps producing: writes to a closed
+			// connection can report success into kernel buffers for a
+			// while, so the context — cancelled the moment the
+			// connection drops — is checked per line, not just between
+			// batches.
+			if ctx.Err() != nil {
+				return
+			}
 			// line is shared by every stream of this job; appending the
 			// newline in place would race on the slice's spare capacity.
 			if _, err := w.Write(line); err != nil {
@@ -378,7 +694,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 		select {
 		case <-wake:
-		case <-r.Context().Done():
+		case <-ctx.Done():
 			return
 		}
 	}
@@ -431,15 +747,39 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	default:
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	}
-	sink, err := stats.NewSink(format, w)
+	sink, err := stats.NewSink(format, &sinkWriter{w: w})
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	if err := sink.Emit(tb); err == nil {
-		sink.Close()
+	// The status line is already committed, so a mid-body write or
+	// flush failure cannot change the response code — it is counted
+	// and surfaced through /healthz instead of being swallowed.
+	werr := sink.Emit(tb)
+	if werr == nil {
+		werr = sink.Close()
+	}
+	if werr != nil {
+		s.renderErrs.Add(1)
 	}
 }
+
+// sinkWriter is the result-body writer handed to stats.NewSink: it
+// carries the sink-flush fault point so the chaos suite can fail a
+// rendering mid-body and assert the failure is surfaced, not
+// swallowed.
+type sinkWriter struct{ w http.ResponseWriter }
+
+func (sw *sinkWriter) Write(p []byte) (int, error) {
+	if err := faultinject.Fire(faultinject.SinkFlush); err != nil {
+		return 0, err
+	}
+	return sw.w.Write(p)
+}
+
+// RenderErrors returns how many result renderings failed mid-body
+// (tests, /healthz).
+func (s *Server) RenderErrors() int64 { return s.renderErrs.Load() }
 
 func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{

@@ -112,6 +112,54 @@ func TestSinkFlushErrorSurfaces(t *testing.T) {
 	}
 }
 
+// TestSinkCloseErrorSurfaces extends the contract to Close: trailing
+// syntax (or the final flush) failing must propagate, not vanish —
+// sinrcastd counts these as render errors and a silent nil would
+// report a truncated body as success.
+func TestSinkCloseErrorSurfaces(t *testing.T) {
+	for _, format := range SinkFormats() {
+		s, err := NewSink(format, &failingFlusher{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); !errors.Is(err, errFlush) {
+			t.Fatalf("%s: Close error = %v, want %v", format, err, errFlush)
+		}
+	}
+}
+
+// failAfterWriter errors on every Write past a byte budget — a client
+// connection dying mid-body.
+type failAfterWriter struct {
+	budget int
+	wrote  int
+}
+
+var errWrite = errors.New("write failed")
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.wrote+len(p) > w.budget {
+		return 0, errWrite
+	}
+	w.wrote += len(p)
+	return len(p), nil
+}
+
+// TestSinkWriteErrorSurfaces is the write half of the error contract:
+// a failing underlying Write must surface through Emit in every
+// format, including the csv.Writer's internal buffering.
+func TestSinkWriteErrorSurfaces(t *testing.T) {
+	for _, format := range SinkFormats() {
+		s, err := NewSink(format, &failAfterWriter{budget: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Emit(flushTable(0)); !errors.Is(err, errWrite) {
+			t.Fatalf("%s: Emit over a failing writer = %v, want %v", format, err, errWrite)
+		}
+	}
+}
+
 // TestSinkPlainWriterUnchanged pins that writers without a Flush
 // method keep working and keep their historical bytes.
 func TestSinkPlainWriterUnchanged(t *testing.T) {
