@@ -303,6 +303,60 @@ func (m *Manager) Resubmit(id, name string, run RunFunc) (*Handle, error) {
 	return m.admit(id, name, run)
 }
 
+// ReserveThrough advances the id counter so no future Submit assigns
+// "jK" for any K <= n. Journal replay calls it with the highest id
+// found in the journal before any traffic is accepted, so fresh ids
+// can never collide with ids Resubmit will re-queue later.
+func (m *Manager) ReserveThrough(n int64) {
+	m.mu.Lock()
+	if n > m.nextID {
+		m.nextID = n
+	}
+	m.mu.Unlock()
+}
+
+// RegisterFailed records a job that could not be re-queued (e.g. the
+// replay of a journal whose in-flight jobs exceed the new queue depth)
+// as already failed, so clients querying its id find a terminal state
+// instead of a vanished job. It occupies no queue slot and never runs.
+func (m *Manager) RegisterFailed(id, name string, cause error) (*Handle, error) {
+	if id == "" {
+		return nil, fmt.Errorf("jobs: RegisterFailed needs an id")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, exists := m.jobs[id]; exists {
+		return nil, fmt.Errorf("jobs: id %s already exists", id)
+	}
+	if n, err := strconv.ParseInt(strings.TrimPrefix(id, "j"), 10, 64); err == nil && n > m.nextID {
+		m.nextID = n
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	now := time.Now()
+	h := &Handle{
+		id:       id,
+		name:     name,
+		ctx:      ctx,
+		cancel:   cancel,
+		state:    StateFailed,
+		err:      cause,
+		created:  now,
+		finished: now,
+		done:     make(chan struct{}),
+	}
+	close(h.done)
+	m.jobs[id] = h
+	m.order = append(m.order, id)
+	// Submitted and Completed move together so the drain invariant
+	// (Submitted == Completed after Shutdown) holds; the drain-rate ring
+	// is left alone — nothing actually drained through a worker.
+	m.submitted.Add(1)
+	m.completed.Add(1)
+	m.pruneLocked()
+	return h, nil
+}
+
 func (m *Manager) admit(id, name string, run RunFunc) (*Handle, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -309,3 +309,71 @@ func TestConcurrentSubmitWaitCancel(t *testing.T) {
 		t.Fatal("unknown id resolved")
 	}
 }
+
+// TestReserveThrough pins the replay id guard: after ReserveThrough(n)
+// no fresh Submit assigns an id at or below jn, and lower reservations
+// never move the counter backwards.
+func TestReserveThrough(t *testing.T) {
+	m := New(Config{Workers: 1, QueueDepth: 4})
+	defer m.Shutdown(context.Background())
+	m.ReserveThrough(41)
+	h, err := m.Submit("a", func(ctx context.Context, _ int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ID() != "j42" {
+		t.Fatalf("id after ReserveThrough(41) = %s, want j42", h.ID())
+	}
+	m.ReserveThrough(3)
+	h2, err := m.Submit("b", func(ctx context.Context, _ int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.ID() != "j43" {
+		t.Fatalf("id after lower reservation = %s, want j43", h2.ID())
+	}
+}
+
+// TestRegisterFailed pins the replay-overflow terminal record: the
+// handle is immediately terminal with the given cause, queryable by
+// id, occupies no queue slot, reserves its id, and keeps the
+// Submitted == Completed drain invariant.
+func TestRegisterFailed(t *testing.T) {
+	m := New(Config{Workers: 1, QueueDepth: 1})
+	cause := errors.New("replay: queue full")
+	h, err := m.RegisterFailed("j9", "lost", cause)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, herr := h.State(); s != StateFailed || !errors.Is(herr, cause) {
+		t.Fatalf("state %s err %v, want failed with the cause", s, herr)
+	}
+	select {
+	case <-h.Done():
+	default:
+		t.Fatal("Done channel not closed for a pre-failed handle")
+	}
+	if err := h.Wait(waitCtx(t)); !errors.Is(err, cause) {
+		t.Fatalf("Wait = %v, want the cause", err)
+	}
+	if got, ok := m.Get("j9"); !ok || got != h {
+		t.Fatal("registered handle not queryable by id")
+	}
+	if _, err := m.RegisterFailed("j9", "dup", cause); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	h2, err := m.Submit("next", func(ctx context.Context, _ int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.ID() != "j10" {
+		t.Fatalf("fresh id %s did not clear the registered id, want j10", h2.ID())
+	}
+	if err := m.Shutdown(waitCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Submitted != st.Completed {
+		t.Fatalf("Submitted %d != Completed %d after drain", st.Submitted, st.Completed)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -26,15 +27,25 @@ import (
 // tolerates a torn final line (the kill -9 case): parseable records up
 // to the tear are replayed, the tear itself is skipped and counted.
 //
-// A journal failure (disk full, injected fault) is sticky and
-// non-fatal: the daemon keeps serving, later appends are dropped, and
-// Err surfaces the degradation through /healthz.
+// A journal failure (disk full, injected fault) is non-fatal: the
+// daemon keeps serving and Err surfaces the degradation through
+// /healthz. Recovery is bounded: the next append after a failure
+// reopens the file (up to maxJournalReopens times for the life of the
+// process) and journaling resumes; records lost in the failed epoch
+// are counted by Dropped and stay visible on /healthz even after
+// recovery. Once the reopen budget is spent — or after Close — the
+// error is permanently sticky and every further record is counted
+// dropped.
 type Journal struct {
-	mu    sync.Mutex
-	f     *os.File
-	w     *bufio.Writer
-	err   error
-	dirty bool
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	w       *bufio.Writer
+	err     error
+	dirty   bool
+	closed  bool
+	pending int64 // records buffered since the last successful sync
+	reopens int
 
 	kick chan struct{}
 	quit chan struct{}
@@ -43,11 +54,20 @@ type Journal struct {
 	closeOnce sync.Once
 	appends   atomic.Int64
 	syncs     atomic.Int64
+	dropped   atomic.Int64
 }
 
 // syncBatch is the group-commit window: appends within one window
 // share one flush+fsync.
 const syncBatch = 10 * time.Millisecond
+
+// maxJournalReopens bounds how many times a failed journal file is
+// reopened before the error becomes permanently sticky.
+const maxJournalReopens = 3
+
+// errJournalClosed marks records appended after Close — lost by
+// definition, so the loss is surfaced rather than silently buffered.
+var errJournalClosed = errors.New("serve: journal closed")
 
 // journalRecord is one NDJSON line. Op selects the shape:
 //
@@ -78,6 +98,7 @@ func OpenJournal(path string) (*Journal, error) {
 		return nil, err
 	}
 	j := &Journal{
+		path: path,
 		f:    f,
 		w:    bufio.NewWriter(f),
 		kick: make(chan struct{}, 1),
@@ -90,8 +111,9 @@ func OpenJournal(path string) (*Journal, error) {
 
 // Append buffers one record for the next batched fsync. Safe on a nil
 // journal (journaling disabled) — it is the universal hook in the job
-// path. Errors are sticky: after the first failed write or sync the
-// journal drops records and reports through Err.
+// path. A failed write or sync makes later appends attempt a bounded
+// reopen of the file; records lost before recovery (and every record
+// once the budget is spent, or after Close) are counted by Dropped.
 func (j *Journal) Append(rec journalRecord) {
 	if j == nil {
 		return
@@ -106,19 +128,61 @@ func (j *Journal) Append(rec journalRecord) {
 		return
 	}
 	j.mu.Lock()
-	if j.err == nil {
-		if _, werr := j.w.Write(append(b, '\n')); werr != nil {
-			j.err = werr
-		} else {
-			j.dirty = true
-			j.appends.Add(1)
+	if j.closed {
+		if j.err == nil {
+			j.err = errJournalClosed
 		}
+		j.dropped.Add(1)
+		j.mu.Unlock()
+		return
+	}
+	if j.err != nil {
+		j.reopenLocked()
+	}
+	if j.err != nil {
+		j.dropped.Add(1)
+		j.mu.Unlock()
+		return
+	}
+	if _, werr := j.w.Write(append(b, '\n')); werr != nil {
+		j.err = werr
+		j.dropped.Add(1)
+	} else {
+		j.dirty = true
+		j.pending++
+		j.appends.Add(1)
 	}
 	j.mu.Unlock()
 	select {
 	case j.kick <- struct{}{}:
 	default:
 	}
+}
+
+// reopenLocked is the bounded recovery path: the buffered tail of the
+// failed epoch is counted lost and discarded (its bytes may already be
+// partially on disk — a fresh writer must not replay them), the file
+// is reopened in append mode, and a newline terminates any torn line
+// the failure left mid-file (the reader skips blank lines).
+func (j *Journal) reopenLocked() {
+	if j.reopens >= maxJournalReopens {
+		return
+	}
+	j.reopens++
+	j.dropped.Add(j.pending)
+	j.pending = 0
+	f, err := os.OpenFile(j.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		j.err = err
+		return
+	}
+	old := j.f
+	j.f = f
+	j.w = bufio.NewWriter(f)
+	j.w.WriteByte('\n')
+	j.dirty = true
+	j.err = nil
+	old.Close()
 }
 
 // AppendSync appends and forces the current batch to disk before
@@ -132,11 +196,13 @@ func (j *Journal) AppendSync(rec journalRecord) {
 	j.Sync()
 }
 
+// fail records one record lost before it reached the buffer.
 func (j *Journal) fail(err error) {
 	j.mu.Lock()
 	if j.err == nil {
 		j.err = err
 	}
+	j.dropped.Add(1)
 	j.mu.Unlock()
 }
 
@@ -151,11 +217,14 @@ func (j *Journal) Sync() error {
 }
 
 func (j *Journal) syncLocked() error {
-	if j.err != nil {
+	// errJournalClosed does not block the final flush: Close sets the
+	// flag before the syncer drains the tail, and the tail holds only
+	// records accepted while the journal was still open.
+	if j.err != nil && !errors.Is(j.err, errJournalClosed) {
 		return j.err
 	}
 	if !j.dirty {
-		return nil
+		return j.err
 	}
 	if err := faultinject.Fire(faultinject.JournalSync); err != nil {
 		j.err = err
@@ -170,8 +239,9 @@ func (j *Journal) syncLocked() error {
 		return err
 	}
 	j.dirty = false
+	j.pending = 0
 	j.syncs.Add(1)
-	return nil
+	return j.err
 }
 
 // syncLoop is the group-commit goroutine: a kick opens a syncBatch
@@ -197,7 +267,9 @@ func (j *Journal) syncLoop() {
 	}
 }
 
-// Err returns the sticky journal error, nil while healthy.
+// Err returns the current journal error, nil while healthy. It clears
+// when a reopen recovers the file (Dropped still counts the loss) and
+// is permanently sticky once the reopen budget is spent or Close ran.
 func (j *Journal) Err() error {
 	if j == nil {
 		return nil
@@ -215,15 +287,46 @@ func (j *Journal) Syncs() int64 {
 	return j.syncs.Load()
 }
 
-// Close stops the syncer, flushes the tail, and closes the file.
+// Dropped returns how many records were lost to journal failures or
+// post-Close appends — the degradation gauge behind /healthz's
+// journal_dropped, which outlives a successful reopen.
+func (j *Journal) Dropped() int64 {
+	if j == nil {
+		return 0
+	}
+	return j.dropped.Load()
+}
+
+// Reopens returns how many recovery reopens have been spent (of
+// maxJournalReopens).
+func (j *Journal) Reopens() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.reopens
+}
+
+// Close stops the syncer, flushes the tail, and closes the file. New
+// appends are refused — and counted dropped, with a sticky error —
+// from the moment Close begins, so a record that races Close is
+// surfaced instead of vanishing into a buffer no syncer will flush.
 func (j *Journal) Close() error {
 	if j == nil {
 		return nil
 	}
 	j.closeOnce.Do(func() {
+		j.mu.Lock()
+		j.closed = true
+		j.mu.Unlock()
 		close(j.quit)
 		<-j.done
 		j.mu.Lock()
+		if j.err != nil && j.pending > 0 {
+			j.dropped.Add(j.pending)
+			j.pending = 0
+		}
 		if cerr := j.f.Close(); cerr != nil && j.err == nil {
 			j.err = cerr
 		}

@@ -132,24 +132,103 @@ func TestJournalNilSafe(t *testing.T) {
 	}
 }
 
-// TestJournalStickyError pins the degradation contract: an injected
-// sync failure makes the journal report unhealthy without panicking or
-// blocking later appends.
-func TestJournalStickyError(t *testing.T) {
+// TestJournalRecoversAfterTransientFault pins the bounded-recovery
+// contract: one transient sync failure degrades the journal, the next
+// append reopens the file and journaling resumes, and the loss stays
+// counted (Dropped) after recovery.
+func TestJournalRecoversAfterTransientFault(t *testing.T) {
+	path := tempJournal(t)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm(faultinject.JournalSync, faultinject.Fault{First: 1, Seed: 1})
+	defer faultinject.DisarmAll()
+	j.AppendSync(journalRecord{Op: "accept", ID: "j1", Req: &quickRun})
+	if j.Err() == nil {
+		t.Fatal("injected sync fault not reported")
+	}
+
+	// The next append reopens the file (the fault was First:1, so the
+	// new epoch syncs clean) and later records are durable again.
+	j.Append(journalRecord{Op: "accept", ID: "j2", Req: &quickRun})
+	j.AppendSync(journalRecord{Op: "done", ID: "j2", State: "done"})
+	if err := j.Err(); err != nil {
+		t.Fatalf("journal did not recover after reopen: %v", err)
+	}
+	if j.Reopens() != 1 {
+		t.Fatalf("Reopens = %d, want 1", j.Reopens())
+	}
+	if j.Dropped() == 0 {
+		t.Fatal("records lost in the failed epoch not counted")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("close after recovery: %v", err)
+	}
+	recs, _, err := ReadJournalRecords(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for _, rec := range recs {
+		ids = append(ids, rec.ID)
+	}
+	if len(recs) != 2 || recs[0].ID != "j2" || recs[1].ID != "j2" {
+		t.Fatalf("post-recovery journal holds %v, want j2's two records", ids)
+	}
+}
+
+// TestJournalReopenBudgetExhausts pins the bound on recovery: with
+// every sync failing, the journal spends maxJournalReopens reopens and
+// then the error is permanently sticky — no panic, no block, every
+// record counted dropped.
+func TestJournalReopenBudgetExhausts(t *testing.T) {
 	j, err := OpenJournal(tempJournal(t))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer j.Close()
-	faultinject.Arm(faultinject.JournalSync, faultinject.Fault{First: 1, Seed: 1})
+	faultinject.Arm(faultinject.JournalSync, faultinject.Fault{First: 1 << 30, Seed: 1})
 	defer faultinject.DisarmAll()
-	j.AppendSync(journalRecord{Op: "accept", ID: "j1", Req: &quickRun})
-	if j.Err() == nil {
-		t.Fatal("injected sync fault did not stick")
+	for i := 0; i < 10; i++ {
+		j.AppendSync(journalRecord{Op: "trial", ID: "j1", Trial: i})
 	}
-	// Later traffic must not panic or block.
+	if j.Err() == nil {
+		t.Fatal("permanent sync failure not sticky")
+	}
+	if j.Reopens() != maxJournalReopens {
+		t.Fatalf("Reopens = %d, want the full budget %d", j.Reopens(), maxJournalReopens)
+	}
+	if j.Dropped() == 0 {
+		t.Fatal("lost records not counted")
+	}
+}
+
+// TestJournalAppendAfterCloseSurfaced pins that a record appended after
+// Close is refused loudly: sticky error, dropped count — never a
+// silent write into a buffer no syncer will flush.
+func TestJournalAppendAfterCloseSurfaced(t *testing.T) {
+	path := tempJournal(t)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.AppendSync(journalRecord{Op: "accept", ID: "j1", Req: &quickRun})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
 	j.Append(journalRecord{Op: "done", ID: "j1", State: "done"})
-	if err := j.Sync(); err == nil {
-		t.Fatal("sticky error cleared itself")
+	if j.Err() == nil {
+		t.Fatal("post-close append left no sticky error")
+	}
+	if j.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", j.Dropped())
+	}
+	recs, _, err := ReadJournalRecords(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Op != "accept" {
+		t.Fatalf("journal holds %d records, want only the pre-close accept", len(recs))
 	}
 }

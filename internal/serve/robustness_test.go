@@ -319,3 +319,140 @@ func TestStreamDisconnectOverTCP(t *testing.T) {
 	defer cancel()
 	s.Shutdown(ctx)
 }
+
+// TestOpenReservesJournaledIDs pins the replay id guard end to end: a
+// fresh submission racing background replay must receive an id beyond
+// every journaled id, so it can never collide with a Resubmit and hand
+// clients polling a journaled id a different job.
+func TestOpenReservesJournaledIDs(t *testing.T) {
+	path := tempJournal(t)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(journalRecord{Op: "accept", ID: "j7", Req: &quickRun})
+	j.Append(journalRecord{Op: "done", ID: "j7", State: "done"})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, ts := journalServer(t, path, Config{})
+	// Deliberately no waitReplay first: the reservation must hold even
+	// while replay is still running in the background.
+	id := submitJob(t, ts, quickRun)
+	n, err := strconv.ParseInt(strings.TrimPrefix(id, "j"), 10, 64)
+	if err != nil || n <= 7 {
+		t.Fatalf("fresh id %q does not clear the journaled ids (want > j7)", id)
+	}
+	waitReplay(t, s)
+}
+
+// TestReplayOverflowFailsVisibly pins the write-ahead contract under
+// queue overflow: when the journal holds more in-flight jobs than the
+// new incarnation's queue admits, the overflow is recorded as a failed
+// terminal state — queryable under the original id, never a 404 — and
+// the loss is durable across a further restart.
+func TestReplayOverflowFailsVisibly(t *testing.T) {
+	path := tempJournal(t)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 8; i++ {
+		req := quickRun
+		req.Seed = uint64(1000 + i)
+		j.Append(journalRecord{Op: "accept", ID: fmt.Sprintf("j%d", i), Req: &req})
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stall every worker dequeue so replay outruns the drain and the
+	// 1-deep queue genuinely overflows.
+	faultinject.Arm(faultinject.WorkerStall, faultinject.Fault{Every: 1, Seed: 1, Stall: 100 * time.Millisecond})
+	defer faultinject.DisarmAll()
+	s, ts := journalServer(t, path, Config{Jobs: jobs.Config{QueueDepth: 1, Workers: 1}, RewarmHot: -1})
+	waitReplay(t, s)
+	faultinject.DisarmAll()
+
+	overflowed := 0
+	for i := 1; i <= 8; i++ {
+		id := fmt.Sprintf("j%d", i)
+		state, jerr := waitTerminal(t, ts.URL, id) // 404 fails here
+		if state == string(jobs.StateFailed) {
+			if !strings.Contains(jerr, "replay:") {
+				t.Fatalf("job %s failed outside replay: %q", id, jerr)
+			}
+			overflowed++
+		}
+	}
+	if overflowed == 0 {
+		t.Fatal("queue never overflowed; the test exercised nothing")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The loss is journaled: a further restart sees every job terminal
+	// and replays nothing.
+	s2, _ := journalServer(t, path, Config{RewarmHot: -1})
+	waitReplay(t, s2)
+	if n := s2.mgr.Stats().Submitted; n != 0 {
+		t.Fatalf("second restart re-queued %d jobs; overflow loss not durable", n)
+	}
+}
+
+// TestShutdownDuringReplayLeavesJobsReplayable pins the drain/replay
+// interaction: a shutdown that wins the race against replay must not
+// fail durably accepted jobs — their accept records stay
+// un-terminated so the next incarnation replays them.
+func TestShutdownDuringReplayLeavesJobsReplayable(t *testing.T) {
+	path := tempJournal(t)
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(journalRecord{Op: "accept", ID: "j1", Req: &quickRun})
+	j.Append(journalRecord{Op: "accept", ID: "j2", Req: &quickRun})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := ReadJournalRecords(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Assemble the mid-replay daemon state by hand: draining already
+	// set (Shutdown won the race), replay about to run.
+	s := New(Config{JournalPath: path, RewarmHot: -1})
+	if s.journal, err = OpenJournal(path); err != nil {
+		t.Fatal(err)
+	}
+	s.ready.Store(false)
+	s.replayDone = make(chan struct{})
+	s.draining.Store(true)
+	s.replay(recs, 0)
+	if n := s.mgr.Stats().Submitted; n != 0 {
+		t.Fatalf("draining replay admitted %d jobs", n)
+	}
+	if _, err := s.submit(&quickRun); !errors.Is(err, jobs.ErrShutdown) {
+		t.Fatalf("submit while draining: err = %v, want ErrShutdown", err)
+	}
+	if err := s.journal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after, _, err := ReadJournalRecords(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != 2 {
+		t.Fatalf("journal grew to %d records; draining replay must append nothing", len(after))
+	}
+	for _, rec := range after {
+		if rec.Op != "accept" {
+			t.Fatalf("accept record terminated during draining replay: %+v", rec)
+		}
+	}
+}

@@ -25,8 +25,10 @@
 // in-flight jobs under their original ids, resuming from the journaled
 // trial high-water mark; because per-trial seeds derive from (seed,
 // trial), resumed tables are byte-identical to uninterrupted runs.
-// Journal failures are sticky and degrade /healthz but never fail
-// jobs. /readyz answers 503 during replay and drain; a per-key circuit
+// Journal failures degrade /healthz but never fail jobs: a bounded
+// reopen path recovers from transient errors, and records lost in the
+// meantime stay counted (journal_dropped). /readyz answers 503 during
+// replay and drain; a per-key circuit
 // breaker fast-fails (422) submissions whose cache key keeps failing
 // to build; and the 429 Retry-After hint tracks the measured drain
 // rate. The chaos suite exercises all of it through the deterministic
@@ -41,6 +43,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -149,6 +152,13 @@ type Server struct {
 	// only remaining way to surface a mid-body failure.
 	renderErrs atomic.Int64
 
+	// admitMu fences admission against Shutdown: admit holds the read
+	// lock from the draining check through watcher registration and the
+	// accept-record append, and Shutdown takes the write lock after
+	// flipping draining — so no watchers.Add can race watchers.Wait and
+	// no accept record can land after the journal closes.
+	admitMu sync.RWMutex
+
 	// watchers tracks the per-job terminal-state goroutines so Shutdown
 	// can wait for the last "done" journal record before closing the
 	// journal.
@@ -196,6 +206,12 @@ func Open(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: reading journal: %w", err)
 	}
+	// Reserve every journaled id before any traffic can reach Submit:
+	// replay runs in the background while handleSubmit keeps accepting,
+	// and a fresh id colliding with an in-flight journaled id would make
+	// its Resubmit fail — and hand clients polling the original id a
+	// different job.
+	s.mgr.ReserveThrough(maxJournalID(recs))
 	j, err := OpenJournal(s.cfg.JournalPath)
 	if err != nil {
 		return nil, fmt.Errorf("serve: opening journal: %w", err)
@@ -225,6 +241,21 @@ func (s *Server) Journal() *Journal { return s.journal }
 // jobs.Manager.Shutdown.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	// Replay observes draining and winds down promptly, leaving
+	// not-yet-re-queued jobs for the next incarnation; waiting for it
+	// here means every job replay did re-queue is inside the manager —
+	// and its journal records appended — before the drain and the
+	// journal close below.
+	select {
+	case <-s.replayDone:
+	case <-ctx.Done():
+	}
+	// Barrier: an admission that passed the draining check holds the
+	// read lock until its watcher is registered and its accept record
+	// appended, so past this point no watchers.Add races watchers.Wait
+	// and no accept record chases a closed journal.
+	s.admitMu.Lock()
+	s.admitMu.Unlock()
 	err := s.mgr.Shutdown(ctx)
 	s.watchers.Wait()
 	// A journal failure is a recorded degradation (Err, /healthz), not
@@ -280,6 +311,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		body["journal_error"] = jerr.Error()
 		body["degraded"] = true
 	}
+	if n := s.journal.Dropped(); n > 0 {
+		// Records lost to a journal failure stay visible even after a
+		// reopen recovers the file: the crash-safety gap is permanent
+		// for those jobs.
+		body["journal_dropped"] = n
+		body["degraded"] = true
+	}
 	if n := s.renderErrs.Load(); n > 0 {
 		body["render_errors"] = n
 	}
@@ -324,6 +362,14 @@ func (s *Server) admit(req *JobRequest, id string, resumeRows [][]string, resume
 		if err := s.cache.Negative(key); err != nil {
 			return nil, err
 		}
+	}
+	// The admission section pairs a draining check with admitMu's read
+	// lock (see Shutdown): every admission either completes before the
+	// drain starts or is rejected here.
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	if s.draining.Load() {
+		return nil, jobs.ErrShutdown
 	}
 	st := &jobState{req: req, log: newEventLog(), resumeRows: resumeRows, resumeTrials: resumeTrials}
 	// st.id and st.handle are assigned only after Submit returns, but a
@@ -475,6 +521,9 @@ func (s *Server) replay(recs []journalRecord, skipped int) {
 			hot = hot[:s.cfg.RewarmHot]
 		}
 		for _, r := range hot {
+			if s.draining.Load() {
+				break
+			}
 			s.rewarm(r.h.req)
 		}
 	}
@@ -484,14 +533,50 @@ func (s *Server) replay(recs []journalRecord, skipped int) {
 		if rj.done || rj.req == nil {
 			continue
 		}
+		if s.draining.Load() {
+			// Shutdown mid-replay: leave the remaining accept records
+			// un-terminated so the next incarnation replays them.
+			return
+		}
 		if _, err := s.admit(rj.req, rj.id, contiguousRows(rj.rows), rj.etrials); err != nil {
-			// The job was durably accepted; dropping it silently would
-			// break the write-ahead contract, so its loss is recorded as
-			// the terminal state.
-			s.journal.Append(journalRecord{Op: "done", ID: rj.id,
-				State: string(jobs.StateFailed), Error: fmt.Sprintf("replay: %v", err)})
+			if errors.Is(err, jobs.ErrShutdown) {
+				return // as above: the job stays replayable
+			}
+			s.failReplayed(rj, err)
 		}
 	}
+}
+
+// failReplayed records a durably accepted job that could not be
+// re-queued (queue overflow, a spec the new binary rejects): the loss
+// is journaled as the terminal state so the next restart skips it, and
+// a pre-failed handle is registered so clients polling the original id
+// see "failed" — never a 404 for a job the daemon acknowledged.
+func (s *Server) failReplayed(rj *replayedJob, cause error) {
+	ferr := fmt.Errorf("replay: %w", cause)
+	if h, err := s.mgr.RegisterFailed(rj.id, rj.req.name(), ferr); err == nil {
+		st := &jobState{id: rj.id, req: rj.req, handle: h, log: newEventLog()}
+		st.log.append(event{Type: "state", Job: rj.id, State: string(jobs.StateFailed), Error: ferr.Error()})
+		st.log.close()
+		s.mu.Lock()
+		s.states[rj.id] = st
+		s.pruneLocked()
+		s.mu.Unlock()
+	}
+	s.journal.Append(journalRecord{Op: "done", ID: rj.id,
+		State: string(jobs.StateFailed), Error: ferr.Error()})
+}
+
+// maxJournalID returns the highest numeric job id ("jN") among recs —
+// the floor Open reserves in the manager before accepting traffic.
+func maxJournalID(recs []journalRecord) int64 {
+	var max int64
+	for _, rec := range recs {
+		if n, err := strconv.ParseInt(strings.TrimPrefix(rec.ID, "j"), 10, 64); err == nil && n > max {
+			max = n
+		}
+	}
+	return max
 }
 
 // contiguousRows returns the longest 0-based contiguous prefix of
